@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports (run with ``-s`` to see them).
+Shapes — who wins, by roughly what factor, where crossovers fall — are
+asserted; absolute numbers are simulated cycles at 2.4 GHz.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeated rounds would
+    only re-measure Python overhead.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

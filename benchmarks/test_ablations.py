@@ -1,0 +1,173 @@
+"""Ablations of Aquila's design choices (paper Sections 3-4).
+
+Each ablation disables or resizes one mechanism the paper motivates and
+checks it pulls its weight:
+
+* SIMD memcpy for the DAX path (Section 3.3: 2x copy speedup);
+* batched TLB shootdowns (Section 4.1: one IPI per batch);
+* eviction batch size (Section 3.2: amortization vs hot-set theft);
+* the non-root ring 0 trap (Section 6.4: the 2.33x domain-switch win);
+* SPDK vs host syscalls for NVMe (Section 3.3).
+"""
+
+from repro.bench.setups import make_aquila_stack, scaled_pages
+from repro.bench.report import Table, print_claims, ratio_line
+from repro.common import constants, units
+from repro.devices.io_engines import DaxIO
+from repro.devices.pmem import PmemDevice
+from repro.hw.machine import Machine
+from repro.mmio.aquila import AquilaEngine
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+
+def _run_engine(engine, stack, accesses=800, dataset_pages=None, touch_once=True):
+    if dataset_pages is None:
+        dataset_pages = accesses + 64
+    file = stack.allocator.create(
+        f"abl-{id(engine)}", dataset_pages * units.PAGE_SIZE
+    )
+    config = MicrobenchConfig(
+        num_threads=1, accesses_per_thread=accesses, touch_once=touch_once
+    )
+    result = run_microbench(engine, file, config)
+    return result.merged_latencies().mean()
+
+
+def test_ablation_simd_memcpy(once):
+    """Without AVX2 streaming copies the DAX miss path slows by ~1200 cycles."""
+
+    def run():
+        machine = Machine()
+        dev_simd = PmemDevice(capacity_bytes=256 * units.MIB)
+        dev_plain = PmemDevice(capacity_bytes=256 * units.MIB)
+        simd = AquilaEngine(machine, 2048, DaxIO(dev_simd, use_simd=True))
+        plain = AquilaEngine(Machine(), 2048, DaxIO(dev_plain, use_simd=False))
+
+        class _Stack:
+            pass
+
+        from repro.mmio.files import ExtentAllocator
+
+        s1, s2 = _Stack(), _Stack()
+        s1.allocator = ExtentAllocator(dev_simd)
+        s2.allocator = ExtentAllocator(dev_plain)
+        return _run_engine(simd, s1), _run_engine(plain, s2)
+
+    simd_mean, plain_mean = once(run)
+    delta = plain_mean - simd_mean
+    expected = constants.MEMCPY_4K_NOSIMD_CYCLES - constants.MEMCPY_4K_AQUILA_DAX_CYCLES
+    print_claims(
+        "Ablation: SIMD memcpy",
+        [
+            ratio_line("fault-cost delta (cycles)", float(expected), delta, ""),
+            ratio_line("copy speedup", 2.0, constants.MEMCPY_4K_NOSIMD_CYCLES / constants.MEMCPY_4K_AQUILA_DAX_CYCLES),
+        ],
+    )
+    assert plain_mean > simd_mean
+    assert abs(delta - expected) < 150
+
+
+def test_ablation_shootdown_batch(once):
+    """Smaller shootdown batches cost more IPI sends per evicted page."""
+
+    def run():
+        rows = []
+        for batch in (1, 8, 64):
+            stack = make_aquila_stack("pmem", cache_pages=512)
+            stack.engine.shootdown_batch = batch
+            stack.engine.cache.eviction_batch = 64
+            # Populate other cores' TLBs so shootdowns have targets.
+            file = stack.allocator.create("warm", 512 * units.PAGE_SIZE)
+            config = MicrobenchConfig(
+                num_threads=8, accesses_per_thread=700, touch_once=False
+            )
+            result = run_microbench(stack.engine, file, config)
+            sends = stack.engine._shootdowns.ipis_sent
+            pages = stack.engine._shootdowns.pages_invalidated
+            rows.append((batch, sends, pages, result.merged_latencies().mean()))
+        return rows
+
+    rows = once(run)
+    table = Table(
+        "Ablation: TLB shootdown batch size",
+        ["batch", "IPIs sent", "pages invalidated", "mean access cycles"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+    ipis_per_page = {batch: sends / max(1, pages) for batch, sends, pages, _ in rows}
+    assert ipis_per_page[1] > 2 * ipis_per_page[64], "batching must amortize IPIs"
+
+
+def test_ablation_eviction_batch(once):
+    """Oversized eviction batches steal the hot set; tiny ones lose amortization."""
+
+    def run():
+        rows = []
+        for batch in (2, 16, 256):
+            stack = make_aquila_stack("pmem", cache_pages=512)
+            stack.engine.cache.eviction_batch = batch
+            mean = _run_engine(
+                stack.engine,
+                stack,
+                accesses=1500,
+                dataset_pages=1024,
+                touch_once=False,
+            )
+            rows.append((batch, mean, stack.engine.eviction_batches))
+        return rows
+
+    rows = once(run)
+    table = Table(
+        "Ablation: eviction batch size (cache 512 pages, dataset 1024)",
+        ["batch", "mean access cycles", "eviction batches"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+    by_batch = {batch: mean for batch, mean, _ in rows}
+    # A batch of half the cache must hurt hit rate and cost.
+    assert by_batch[256] > by_batch[16], "evicting half the cache must cost"
+
+
+def test_ablation_trap_cost(once):
+    """Replacing Aquila's exception with the ring-3 trap erases ~735 cycles/fault."""
+
+    def run():
+        from repro.hw.vmx import ExecutionDomain, VMXCostModel
+
+        stack_fast = make_aquila_stack("pmem", cache_pages=1024)
+        mean_fast = _run_engine(stack_fast.engine, stack_fast, accesses=600)
+        stack_slow = make_aquila_stack("pmem", cache_pages=1024)
+        stack_slow.engine.vmx = VMXCostModel(ExecutionDomain.ROOT_RING3)
+        mean_slow = _run_engine(stack_slow.engine, stack_slow, accesses=600)
+        return mean_fast, mean_slow
+
+    mean_fast, mean_slow = once(run)
+    delta = mean_slow - mean_fast
+    expected = constants.TRAP_RING3_CYCLES - constants.TRAP_AQUILA_CYCLES
+    print_claims(
+        "Ablation: non-root ring 0 exception vs ring 3 trap",
+        [ratio_line("per-fault delta (cycles)", float(expected), delta, "")],
+    )
+    assert abs(delta - expected) < 100
+
+
+def test_ablation_spdk_vs_host_nvme(once):
+    """SPDK's kernel bypass must beat host syscalls on NVMe (~1.5x)."""
+
+    def run():
+        spdk = make_aquila_stack("nvme", cache_pages=1024, io_path="spdk")
+        host = make_aquila_stack("nvme", cache_pages=1024, io_path="host")
+        return (
+            _run_engine(spdk.engine, spdk, accesses=500),
+            _run_engine(host.engine, host, accesses=500),
+        )
+
+    spdk_mean, host_mean = once(run)
+    ratio = host_mean / spdk_mean
+    print_claims(
+        "Ablation: SPDK vs host syscalls (NVMe)",
+        [ratio_line("host/spdk fault cost", 1.53, ratio)],
+    )
+    assert 1.2 < ratio < 2.0

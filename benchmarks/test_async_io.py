@@ -1,0 +1,116 @@
+"""Future-work evaluation: asynchronous I/O (paper Sections 3.3, 7.1).
+
+The paper defers evaluating libaio/io_uring-style access; this bench
+fills that in with the model's io_uring implementation, confirming the
+trade-off the paper predicts: fewer CPU cycles and higher throughput than
+synchronous syscalls, at the price of tail latency under saturation —
+and still more CPU per operation than Aquila's mmio hits, which need no
+I/O submission at all.
+"""
+
+from repro.bench.report import Table, print_claims, ratio_line
+from repro.common import units
+from repro.devices.io_engines import HostSyscallIO, SpdkIO
+from repro.devices.io_uring import IoUring, IoUringOp
+from repro.devices.nvme import NvmeDevice
+from repro.hw.vmx import ExecutionDomain, VMXCostModel
+from repro.sim.clock import CycleClock
+from repro.sim.stats import LatencyRecorder
+
+
+def _sync_run(n):
+    device = NvmeDevice(capacity_bytes=256 * units.MIB)
+    path = HostSyscallIO(device, VMXCostModel(ExecutionDomain.ROOT_RING3))
+    clock = CycleClock()
+    latencies = LatencyRecorder()
+    for i in range(n):
+        start = clock.now
+        path.read(clock, (i % 1024) * 4096, 4096)
+        latencies.record(clock.now - start)
+    return clock, latencies
+
+
+def _spdk_run(n):
+    device = NvmeDevice(capacity_bytes=256 * units.MIB)
+    path = SpdkIO(device)
+    clock = CycleClock()
+    latencies = LatencyRecorder()
+    for i in range(n):
+        start = clock.now
+        path.read(clock, (i % 1024) * 4096, 4096)
+        latencies.record(clock.now - start)
+    return clock, latencies
+
+
+def _uring_run(n, batch):
+    device = NvmeDevice(capacity_bytes=256 * units.MIB)
+    ring = IoUring(device, VMXCostModel(ExecutionDomain.ROOT_RING3), queue_depth=batch)
+    clock = CycleClock()
+    latencies = LatencyRecorder()
+    for start_index in range(0, n, batch):
+        submit = clock.now
+        ops = [
+            IoUringOp(((start_index + i) % 1024) * 4096, 4096)
+            for i in range(min(batch, n - start_index))
+        ]
+        ring.submit_and_wait(clock, ops)
+        for op in ops:
+            latencies.record(max(0.0, op.completion_cycles - submit))
+    return clock, latencies
+
+
+def test_async_io_tradeoff(once):
+    """io_uring vs sync syscalls vs SPDK on NVMe random reads."""
+
+    def run():
+        n = 1024
+        rows = {}
+        rows["sync syscalls"] = _sync_run(n)
+        rows["spdk (polled)"] = _spdk_run(n)
+        for batch in (16, 64, 256):
+            rows[f"io_uring qd={batch}"] = _uring_run(n, batch)
+        return n, rows
+
+    n, rows = once(run)
+
+    table = Table(
+        "Asynchronous I/O on NVMe: 1024 random 4 KB reads",
+        ["path", "total ms", "cpu ms", "mean lat (us)", "p99.9 lat (us)"],
+    )
+    summary = {}
+    for name, (clock, latencies) in rows.items():
+        cpu = clock.now - clock.breakdown.prefix_total("idle")
+        summary[name] = {
+            "total": clock.now,
+            "cpu": cpu,
+            "mean": latencies.mean(),
+            "p999": latencies.p999(),
+        }
+        table.add_row(
+            name,
+            units.cycles_to_seconds(clock.now) * 1000,
+            units.cycles_to_seconds(cpu) * 1000,
+            units.cycles_to_us(latencies.mean()),
+            units.cycles_to_us(latencies.p999()),
+        )
+    table.show()
+
+    sync = summary["sync syscalls"]
+    uring = summary["io_uring qd=64"]
+    deep = summary["io_uring qd=256"]
+    print_claims(
+        "Section 7.1 trade-off",
+        [
+            ratio_line("throughput gain (sync/uring total time)", None, sync["total"] / uring["total"]),
+            ratio_line("CPU reduction (sync/uring cpu)", None, sync["cpu"] / uring["cpu"]),
+            ratio_line("tail amplification (qd256 p99.9 / sync p99.9)", None, deep["p999"] / sync["p999"]),
+        ],
+    )
+
+    # "reduces the required CPU cycles ... and increases throughput"
+    assert uring["total"] < sync["total"]
+    assert uring["cpu"] < 0.5 * sync["cpu"]
+    # "it also increases tail latency due to batching" (past device QD).
+    assert deep["p999"] > sync["p999"]
+    # Polling (SPDK) burns CPU waiting; io_uring sleeps instead.
+    assert summary["spdk (polled)"]["cpu"] > uring["cpu"]

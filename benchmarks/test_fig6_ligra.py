@@ -1,0 +1,113 @@
+"""Figure 6: extending the application heap over fast storage (Ligra BFS)."""
+
+import pytest
+
+from repro.bench.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+from repro.bench.report import Table, print_claims, ratio_line
+
+PAPER_SPEEDUPS_8GB = {1: 1.56, 8: 2.54, 16: 4.14}
+THREADS = [1, 8, 16]
+VERTICES = 25000
+
+
+def _show(rows, title):
+    table = Table(
+        title,
+        ["threads", "mmap-pmem ms", "aquila-pmem ms", "mmap-nvme ms",
+         "aquila-nvme ms", "dram ms", "aq-speedup(pmem)"],
+    )
+    for row in rows:
+        table.add_row(
+            row["threads"],
+            row["linux-pmem"]["execution_seconds"] * 1000,
+            row["aquila-pmem"]["execution_seconds"] * 1000,
+            row["linux-nvme"]["execution_seconds"] * 1000,
+            row["aquila-nvme"]["execution_seconds"] * 1000,
+            row["dram--"]["execution_seconds"] * 1000,
+            row["speedup_pmem"],
+        )
+    table.show()
+
+
+def test_fig6a_small_cache(once):
+    """8 GB-equivalent cache: Aquila up to ~4.14x faster than mmap at 16t."""
+    rows = once(run_fig6a, num_vertices=VERTICES, thread_counts=THREADS)
+    _show(rows, "Figure 6(a): BFS execution time, small (8GB-equiv) DRAM cache")
+
+    claims = []
+    for row in rows:
+        claims.append(
+            ratio_line(
+                f"aquila/mmap speedup @{row['threads']}t",
+                PAPER_SPEEDUPS_8GB[row["threads"]],
+                row["speedup_pmem"],
+            )
+        )
+        claims.append(
+            ratio_line(
+                f"mmap slowdown vs DRAM @{row['threads']}t (paper up to 11.8x)",
+                None,
+                row["mmap_vs_dram"],
+            )
+        )
+    print_claims("Figure 6(a) paper-vs-measured", claims)
+
+    by_threads = {row["threads"]: row for row in rows}
+    # Aquila beats mmap at every thread count.
+    for row in rows:
+        assert row["speedup_pmem"] > 1.1, f"@{row['threads']}t Aquila must win"
+    # The gap grows with threads (scalability of the custom cache).
+    assert by_threads[16]["speedup_pmem"] > by_threads[1]["speedup_pmem"]
+    # mmap pays a large penalty vs DRAM-only; Aquila closes much of it.
+    assert by_threads[16]["mmap_vs_dram"] > 2.0
+    assert by_threads[16]["aquila_vs_dram"] < by_threads[16]["mmap_vs_dram"]
+    # BFS results identical across configurations (functional correctness).
+    visited = {row["threads"]: row["aquila-pmem"]["visited"] for row in rows}
+    assert len(set(visited.values())) == 1
+    for row in rows:
+        assert row["aquila-pmem"]["visited"] == row["linux-pmem"]["visited"]
+        assert row["aquila-pmem"]["visited"] == row["dram--"]["visited"]
+
+
+def test_fig6b_larger_cache(once):
+    """16 GB-equivalent cache: gap narrows but Aquila still wins (<=2.3x)."""
+    rows = once(run_fig6b, num_vertices=VERTICES, thread_counts=[16])
+    _show(rows, "Figure 6(b): BFS execution time, larger (16GB-equiv) DRAM cache")
+    row = rows[0]
+    print_claims(
+        "Figure 6(b) paper-vs-measured",
+        [ratio_line("aquila/mmap speedup @16t", 2.3, row["speedup_pmem"])],
+    )
+    assert 1.0 < row["speedup_pmem"] < 5.0
+
+
+def test_fig6c_time_breakdown(once):
+    """mmap burns its time in system+idle; Aquila shifts it to user work."""
+    results = once(run_fig6c, num_vertices=VERTICES)
+    table = Table(
+        "Figure 6(c): execution-time breakdown, 16 threads, small cache (%)",
+        ["engine", "user", "system", "idle"],
+    )
+    for name, cell in results.items():
+        table.add_row(name, cell["user_pct"], cell["system_pct"], cell["idle_pct"])
+    table.show()
+    print_claims(
+        "Figure 6(c) paper-vs-measured",
+        [
+            ratio_line(
+                "mmap user share (paper 10.61%)", 10.61, results["linux"]["user_pct"], "%"
+            ),
+            ratio_line(
+                "aquila user share (paper 55.92%)",
+                55.92,
+                results["aquila"]["user_pct"],
+                "%",
+            ),
+        ],
+    )
+    # Aquila leaves more CPU time for useful (user) work than mmap.
+    assert results["aquila"]["user_pct"] > results["linux"]["user_pct"]
+    # Non-user overhead (system+idle) shrinks under Aquila.
+    linux_overhead = results["linux"]["system_pct"] + results["linux"]["idle_pct"]
+    aquila_overhead = results["aquila"]["system_pct"] + results["aquila"]["idle_pct"]
+    assert aquila_overhead < linux_overhead

@@ -1,0 +1,60 @@
+"""Figure 9: Kreon over kmmap vs Kreon over Aquila (paper Section 6.4)."""
+
+from repro.bench.experiments.fig9 import ALL_WORKLOADS, run_fig9
+from repro.bench.report import Table, print_claims, ratio_line
+
+PAPER = {
+    "nvme": {"throughput": 1.02, "avg": 1.29, "p999": 3.78},
+    "pmem": {"throughput": 1.22, "avg": 1.43, "p999": 13.72},
+}
+
+
+def test_fig9_all_workloads(once):
+    """All six YCSB workloads, single thread, dataset 2x the cache."""
+    rows = once(run_fig9)
+
+    table = Table(
+        "Figure 9: Kreon kmmap vs Aquila (YCSB A-F, 1 thread, 16GB data / 8GB cache)",
+        ["device", "workload", "kmmap ops/s", "aquila ops/s", "thr ratio",
+         "avg-lat ratio", "p99.9 ratio"],
+    )
+    for row in rows:
+        table.add_row(
+            row["device"],
+            row["workload"],
+            row["kmmap"]["throughput"],
+            row["aquila"]["throughput"],
+            row["throughput_ratio"],
+            row["avg_latency_ratio"],
+            row["p999_ratio"],
+        )
+    table.show()
+
+    claims = []
+    for device in ("nvme", "pmem"):
+        device_rows = [r for r in rows if r["device"] == device]
+        avg_thr = sum(r["throughput_ratio"] for r in device_rows) / len(device_rows)
+        avg_lat = sum(r["avg_latency_ratio"] for r in device_rows) / len(device_rows)
+        avg_tail = sum(r["p999_ratio"] for r in device_rows) / len(device_rows)
+        claims.append(
+            ratio_line(f"{device} mean throughput ratio", PAPER[device]["throughput"], avg_thr)
+        )
+        claims.append(
+            ratio_line(f"{device} mean avg-latency ratio", PAPER[device]["avg"], avg_lat)
+        )
+        claims.append(
+            ratio_line(f"{device} mean p99.9 ratio", PAPER[device]["p999"], avg_tail)
+        )
+    print_claims("Figure 9 paper-vs-measured", claims)
+
+    assert {row["workload"] for row in rows} == set(ALL_WORKLOADS)
+    for row in rows:
+        # Aquila never loses on throughput and wins on average latency.
+        assert row["throughput_ratio"] > 0.95, f"{row['device']}-{row['workload']}"
+        assert row["avg_latency_ratio"] > 0.95
+        # No lookups should fail (data integrity through both engines).
+        assert row["kmmap"]["not_found"] == 0
+        assert row["aquila"]["not_found"] == 0
+    # Tail latency: Aquila clearly better (paper: 3.78x NVMe, 13.72x pmem).
+    pmem_tails = [r["p999_ratio"] for r in rows if r["device"] == "pmem"]
+    assert max(pmem_tails) > 1.3, "Aquila must cut Kreon's tail latency"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario 2 (paper Section 6.2): extending the heap over fast storage.
+
+A Ligra-style BFS whose graph and algorithm state live on a heap backed by
+a memory-mapped file, with DRAM limited well below the working set.  The
+same code runs on three substrates: plain DRAM (malloc), Linux mmap, and
+Aquila — only the heap construction differs, which is the paper's point
+about minimal application modifications.
+
+Run:  python examples/graph_heap_extension.py
+"""
+
+from repro.bench.setups import make_aquila_stack, make_linux_stack
+from repro.bench.report import Table
+from repro.common import units
+from repro.graph.ligra import ParallelBFS
+from repro.graph.mmap_heap import DramHeap, MmapHeap
+from repro.graph.rmat import make_rmat_csr
+from repro.mmio.vma import MADV_RANDOM
+from repro.sim.executor import SimThread
+
+NUM_VERTICES = 12500
+EDGE_FACTOR = 10
+THREADS = 8
+
+
+def build_heap(kind: str, heap_pages: int, cache_pages: int):
+    """The only code that changes between substrates."""
+    setup = SimThread(core=0)
+    if kind == "dram":
+        return DramHeap((heap_pages + 16) * units.PAGE_SIZE), setup, None
+    maker = make_linux_stack if kind == "linux-mmap" else make_aquila_stack
+    stack = maker("pmem", cache_pages, capacity_bytes=512 * units.MIB)
+    file = stack.allocator.create("graph-heap", (heap_pages + 16) * units.PAGE_SIZE)
+    mapping = stack.engine.mmap(setup, file)
+    mapping.madvise(setup, MADV_RANDOM)
+    return MmapHeap(mapping), setup, stack
+
+
+def main() -> None:
+    graph = make_rmat_csr(NUM_VERTICES, EDGE_FACTOR, seed=42)
+    root = graph.largest_out_degree_vertex()
+    heap_bytes = 8 * (2 * NUM_VERTICES + 1 + NUM_VERTICES * EDGE_FACTOR)
+    heap_pages = units.pages(heap_bytes) + 8
+    cache_pages = max(32, int(heap_pages * 8 / 18))   # the paper's 8GB:18GB ratio
+
+    print(
+        f"R-MAT graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n"
+        f"heap: {heap_pages} pages; DRAM cache: {cache_pages} pages "
+        f"(~{100 * cache_pages // heap_pages}% of the heap)\n"
+    )
+
+    table = Table(
+        f"BFS execution time, {THREADS} threads",
+        ["substrate", "time (ms)", "rounds", "visited", "faults", "slowdown vs DRAM"],
+    )
+    baseline = None
+    for kind in ("dram", "linux-mmap", "aquila"):
+        heap, setup, stack = build_heap(kind, heap_pages, cache_pages)
+        threads = [SimThread(core=i) for i in range(THREADS)]
+        bfs = ParallelBFS(heap, graph, threads, setup_thread=setup)
+        result = bfs.run(root)
+        millis = units.cycles_to_seconds(result.makespan_cycles) * 1000
+        if kind == "dram":
+            baseline = millis
+        table.add_row(
+            kind,
+            millis,
+            result.rounds,
+            result.visited,
+            stack.engine.faults if stack else 0,
+            millis / baseline,
+        )
+    table.show()
+
+    print(
+        "Aquila narrows the gap to in-memory execution — the paper's\n"
+        "Figure 6 conclusion: large heaps over fast storage become practical\n"
+        "without redesigning the application for explicit I/O."
+    )
+
+
+if __name__ == "__main__":
+    main()

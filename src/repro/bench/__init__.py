@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment stacks, per-figure runners, reporting."""
+
+from repro.bench.report import Table, print_claims, ratio_line
+from repro.bench.setups import (
+    make_aquila_stack,
+    make_device,
+    make_kmmap_stack,
+    make_kreon,
+    make_linux_stack,
+    make_rocksdb,
+    scaled_pages,
+)
+
+__all__ = [
+    "Table",
+    "print_claims",
+    "ratio_line",
+    "make_aquila_stack",
+    "make_device",
+    "make_kmmap_stack",
+    "make_kreon",
+    "make_linux_stack",
+    "make_rocksdb",
+    "scaled_pages",
+]

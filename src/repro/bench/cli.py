@@ -1,0 +1,192 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Regenerates any of the paper's figures without pytest, printing the same
+tables the benchmark suite does.  ``list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench.report import Table
+
+
+def _run_fig5(args) -> None:
+    from repro.bench.experiments.fig5 import run_fig5a, run_fig5b
+
+    runner = run_fig5a if args.experiment == "fig5a" else run_fig5b
+    results = runner(thread_counts=args.threads)
+    table = Table(
+        f"{args.experiment}: RocksDB YCSB-C throughput (ops/s)",
+        ["device", "threads", "read/write", "mmap", "aquila"],
+    )
+    for device, rows in results.items():
+        for row in rows:
+            table.add_row(
+                device,
+                row["threads"],
+                row["direct"]["throughput"],
+                row["mmap"]["throughput"],
+                row["aquila"]["throughput"],
+            )
+    table.show()
+
+
+def _run_fig6(args) -> None:
+    from repro.bench.experiments.fig6 import run_fig6a, run_fig6b
+
+    runner = run_fig6a if args.experiment == "fig6a" else run_fig6b
+    rows = runner(thread_counts=args.threads)
+    table = Table(
+        f"{args.experiment}: Ligra BFS execution time (ms)",
+        ["threads", "mmap-pmem", "aquila-pmem", "dram", "speedup"],
+    )
+    for row in rows:
+        table.add_row(
+            row["threads"],
+            row["linux-pmem"]["execution_seconds"] * 1000,
+            row["aquila-pmem"]["execution_seconds"] * 1000,
+            row["dram--"]["execution_seconds"] * 1000,
+            row["speedup_pmem"],
+        )
+    table.show()
+
+
+def _run_fig7(args) -> None:
+    from repro.bench.experiments.fig7 import run_fig7
+
+    results = run_fig7()
+    table = Table(
+        "fig7: RocksDB cycles per get",
+        ["section", "explicit I/O", "aquila"],
+    )
+    for section in ("device_io", "cache_mgmt", "get", "total"):
+        table.add_row(
+            section,
+            results["direct"]["sections"][section],
+            results["aquila"]["sections"][section],
+        )
+    table.show()
+    print(f"cache-mgmt ratio: {results['cache_mgmt_ratio']:.2f}x (paper 2.58x)")
+    print(f"throughput gain:  {results['throughput_gain']:.2f}x (paper 1.40x)")
+
+
+def _run_fig8(args) -> None:
+    from repro.bench.experiments.fig8 import run_fig8a, run_fig8b, run_fig8c
+
+    if args.experiment == "fig8c":
+        results = run_fig8c()
+        table = Table("fig8c: Aquila device-access paths", ["path", "cycles/fault"])
+        for label in ("Cache-Hit", "DAX-pmem", "HOST-pmem", "SPDK-NVMe", "HOST-NVMe"):
+            table.add_row(label, results[label])
+        table.show()
+        return
+    runner = run_fig8a if args.experiment == "fig8a" else run_fig8b
+    results = runner()
+    key = "mean_access_cycles" if args.experiment == "fig8a" else "steady_mean_cycles"
+    table = Table(
+        f"{args.experiment}: mean fault cost (cycles)", ["engine", "cycles"]
+    )
+    table.add_row("linux-mmap", results["linux"][key])
+    table.add_row("aquila", results["aquila"][key])
+    table.show()
+
+
+def _run_fig9(args) -> None:
+    from repro.bench.experiments.fig9 import run_fig9
+
+    rows = run_fig9(workloads=args.workloads)
+    table = Table(
+        "fig9: Kreon kmmap vs Aquila",
+        ["device", "workload", "thr ratio", "avg-lat ratio", "p99.9 ratio"],
+    )
+    for row in rows:
+        table.add_row(
+            row["device"],
+            row["workload"],
+            row["throughput_ratio"],
+            row["avg_latency_ratio"],
+            row["p999_ratio"],
+        )
+    table.show()
+
+
+def _run_fig10(args) -> None:
+    from repro.bench.experiments.fig10 import run_fig10a, run_fig10b
+
+    runner = run_fig10a if args.experiment == "fig10a" else run_fig10b
+    results = runner(thread_counts=args.threads)
+    for mode in ("shared", "private"):
+        table = Table(
+            f"{args.experiment} ({mode} file): throughput (ops/s)",
+            ["threads", "linux", "aquila", "speedup"],
+        )
+        for row in results[mode]:
+            table.add_row(
+                row["threads"],
+                row["linux"]["throughput"],
+                row["aquila"]["throughput"],
+                row["speedup"],
+            )
+        table.show()
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig5a": _run_fig5,
+    "fig5b": _run_fig5,
+    "fig6a": _run_fig6,
+    "fig6b": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8a": _run_fig8,
+    "fig8b": _run_fig8,
+    "fig8c": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10a": _run_fig10,
+    "fig10b": _run_fig10,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate figures of 'Memory-Mapped I/O on Steroids'.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list"],
+        help="which figure to regenerate (or 'list')",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=None,
+        help="thread counts for sweep experiments",
+    )
+    parser.add_argument(
+        "--workloads",
+        type=str,
+        nargs="+",
+        default=None,
+        help="YCSB workloads for fig9 (default: all of A-F)",
+    )
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

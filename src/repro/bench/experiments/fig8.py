@@ -1,0 +1,167 @@
+"""Figure 8: page-fault overhead breakdowns (paper Section 6.4).
+
+(a) average fault cost, pmem, in-memory dataset — Linux vs Aquila;
+(b) average fault cost with evictions in the common path (8 GB cache,
+    100 GB dataset) — Linux vs Aquila;
+(c) Aquila fault cost under each device-access path: Cache-Hit, DAX-pmem,
+    HOST-pmem, SPDK-NVMe, HOST-NVMe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.setups import make_aquila_stack, make_linux_stack, scaled_pages
+from repro.common import units
+from repro.mmio.vma import MADV_RANDOM
+from repro.sim.executor import SimThread
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+#: Breakdown categories surfaced per figure row (prefix -> display name).
+BREAKDOWN_PREFIXES = [
+    ("fault.trap", "trap/exception"),
+    ("fault.vma_lookup", "vma lookup"),
+    ("fault.pcache_lookup", "page-cache lookup"),
+    ("cache.hash.lookup", "hash lookup"),
+    ("fault.io", "device I/O"),
+    ("idle.io", "device wait"),
+    ("idle.fault.io", "device wait (blocked)"),
+    ("fault.pte_install", "pte install"),
+    ("fault.lru", "lru"),
+    ("cache.freelist", "freelist"),
+    ("cache.hash.insert", "hash insert"),
+    ("fault.pcache_insert", "page-cache insert"),
+    ("fault.page_alloc", "page alloc"),
+    ("reclaim", "reclaim"),
+    ("evict", "evict select"),
+    ("tlb.shootdown", "tlb shootdown"),
+    ("writeback", "writeback"),
+    ("fault.misc", "misc"),
+]
+
+
+def _per_fault_breakdown(result, faults: int) -> Dict[str, float]:
+    merged = result.merged_breakdown()
+    out: Dict[str, float] = {}
+    for prefix, label in BREAKDOWN_PREFIXES:
+        cycles = merged.prefix_total(prefix)
+        if cycles > 0 and faults > 0:
+            out[label] = cycles / faults
+    return out
+
+
+def run_fault_benchmark(
+    engine_kind: str,
+    dataset_pages: int,
+    cache_pages: int,
+    accesses: int,
+    device_kind: str = "pmem",
+    io_path: Optional[str] = None,
+    touch_once: bool = True,
+    write_fraction: float = 0.0,
+) -> Dict:
+    """Single-thread microbenchmark run; returns mean fault cost + breakdown."""
+    if engine_kind == "linux":
+        stack = make_linux_stack(device_kind, cache_pages)
+    else:
+        stack = make_aquila_stack(device_kind, cache_pages, io_path=io_path)
+    file = stack.allocator.create("mb-data", dataset_pages * units.PAGE_SIZE)
+    config = MicrobenchConfig(
+        num_threads=1,
+        accesses_per_thread=accesses,
+        touch_once=touch_once,
+        shared_file=True,
+        write_fraction=write_fraction,
+    )
+    result = run_microbench(stack.engine, file, config)
+    latencies = result.merged_latencies()
+    steady_mean = latencies.tail_mean(0.5)   # before percentile sorts
+    faults = stack.engine.faults
+    return {
+        "engine": stack.engine.name,
+        "device": device_kind,
+        "mean_access_cycles": latencies.mean(),
+        "steady_mean_cycles": steady_mean,
+        "p99_cycles": latencies.p99(),
+        "faults": faults,
+        "accesses": latencies.count,
+        "breakdown": _per_fault_breakdown(result, max(1, latencies.count)),
+        "stack": stack,
+    }
+
+
+def run_fig8a(accesses: int = 800) -> Dict[str, Dict]:
+    """In-memory fault cost: Linux vs Aquila on pmem."""
+    dataset = accesses + 64
+    cache = dataset + 64
+    linux = run_fault_benchmark("linux", dataset, cache, accesses)
+    aquila = run_fault_benchmark("aquila", dataset, cache, accesses)
+    return {"linux": linux, "aquila": aquila}
+
+
+def run_fig8b(cache_pages: int = 512, accesses: Optional[int] = None) -> Dict[str, Dict]:
+    """Out-of-memory fault cost (evictions in the common path).
+
+    Preserves the paper's 8 GB : 100 GB cache:dataset ratio; accesses run
+    long enough that the second half of the run is in eviction steady
+    state, which ``steady_mean_cycles`` reports.
+    """
+    dataset = cache_pages * 100 // 8
+    if accesses is None:
+        accesses = cache_pages * 3
+    linux = run_fault_benchmark(
+        "linux", dataset, cache_pages, accesses, touch_once=False
+    )
+    aquila = run_fault_benchmark(
+        "aquila", dataset, cache_pages, accesses, touch_once=False
+    )
+    return {"linux": linux, "aquila": aquila}
+
+
+def run_fig8c(accesses: int = 600) -> Dict[str, float]:
+    """Aquila device-access paths: mean fault cost per path."""
+    dataset = accesses + 64
+    cache = dataset + 64
+    results: Dict[str, float] = {}
+    for label, device_kind, io_path in [
+        ("DAX-pmem", "pmem", "dax"),
+        ("HOST-pmem", "pmem", "host"),
+        ("SPDK-NVMe", "nvme", "spdk"),
+        ("HOST-NVMe", "nvme", "host"),
+    ]:
+        outcome = run_fault_benchmark(
+            "aquila", dataset, cache, accesses, device_kind=device_kind, io_path=io_path
+        )
+        results[label] = outcome["mean_access_cycles"]
+    results["Cache-Hit"] = _run_cache_hit(accesses)
+    return results
+
+
+def _run_cache_hit(accesses: int) -> float:
+    """Faults that find the page already in the DRAM cache.
+
+    Touch every page (populating the cache), unmap, remap, touch again:
+    the second pass faults but needs no I/O.
+    """
+    dataset = accesses + 64
+    stack = make_aquila_stack("pmem", cache_pages=dataset + 64, io_path="dax")
+    file = stack.allocator.create("hit-data", dataset * units.PAGE_SIZE)
+    thread = SimThread(core=0)
+    mapping = stack.engine.mmap(thread, file)
+    mapping.madvise(thread, MADV_RANDOM)
+    for page in range(dataset):
+        mapping.load(thread, page * units.PAGE_SIZE, 8)
+    mapping.munmap(thread)
+
+    mapping2 = stack.engine.mmap(thread, file)
+    mapping2.madvise(thread, MADV_RANDOM)
+    before_faults = stack.engine.faults
+    start = thread.clock.now
+    count = 0
+    for page in range(0, dataset, 2):   # random-ish stride, all cache hits
+        mapping2.load(thread, page * units.PAGE_SIZE, 8)
+        count += 1
+    elapsed = thread.clock.now - start
+    faults = stack.engine.faults - before_faults
+    assert faults == count, "cache-hit pass should fault on every page"
+    return elapsed / count

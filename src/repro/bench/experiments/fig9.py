@@ -1,0 +1,104 @@
+"""Figure 9: Kreon over kmmap vs Kreon over Aquila (paper Section 6.4).
+
+All six YCSB workloads, single thread, dataset 2x the DRAM cache
+(paper: 16 GB records / 8 GB cache).  Paper claims:
+
+* NVMe: ~1.02x throughput (device-bound), 1.29x lower average latency,
+  3.78x lower p99.9;
+* pmem: 1.22x throughput, 1.43x lower average latency, 13.72x lower p99.9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.setups import make_kreon
+from repro.common import units
+from repro.sim.executor import Executor, SimThread
+from repro.sim.stats import throughput_ops_per_sec
+from repro.workloads.ycsb import YCSBConfig, YCSBDriver
+
+ALL_WORKLOADS = ["A", "B", "C", "D", "E", "F"]
+
+
+def run_cell(
+    engine_kind: str,
+    device_kind: str,
+    workload: str,
+    record_count: int = 8192,
+    cache_pages: int = 1024,
+    operations: int = 1500,
+) -> Dict:
+    """One (engine, device, workload) cell of Figure 9."""
+    store, stack, setup_thread = make_kreon(
+        engine_kind,
+        device_kind=device_kind,
+        cache_pages=cache_pages,
+        volume_bytes=64 * units.MIB,
+        capacity_bytes=256 * units.MIB,
+        l0_max_entries=1024,
+    )
+    config = YCSBConfig(
+        workload=workload,
+        record_count=record_count,
+        operation_count=operations,
+        value_bytes=1024,
+    )
+    driver = YCSBDriver(store, config)
+    driver.load(setup_thread)
+    store.spill(setup_thread)
+    store.msync(setup_thread)
+
+    runner = SimThread(core=0)
+    runner.clock.now = setup_thread.clock.now
+    phase_start = runner.clock.now
+    executor = Executor()
+    executor.add(runner, driver.run_workload(runner, operations))
+    result = executor.run()
+    latencies = result.merged_latencies()
+    return {
+        "engine": engine_kind,
+        "device": device_kind,
+        "workload": workload,
+        "throughput": throughput_ops_per_sec(
+            result.total_ops, result.makespan_cycles - phase_start
+        ),
+        "mean_latency_cycles": latencies.mean(),
+        "p999_cycles": latencies.p999(),
+        "not_found": driver.stats.not_found,
+        "store_stats": store.stats(),
+    }
+
+
+def run_fig9(
+    device_kinds: Optional[List[str]] = None,
+    workloads: Optional[List[str]] = None,
+    record_count: int = 8192,
+    cache_pages: int = 1024,
+    operations: int = 1500,
+) -> List[Dict]:
+    """kmmap vs Aquila cells across devices and workloads."""
+    rows = []
+    for device_kind in device_kinds if device_kinds is not None else ["nvme", "pmem"]:
+        for workload in workloads if workloads is not None else ALL_WORKLOADS:
+            kmmap = run_cell(
+                "kmmap", device_kind, workload, record_count, cache_pages, operations
+            )
+            aquila = run_cell(
+                "aquila", device_kind, workload, record_count, cache_pages, operations
+            )
+            rows.append(
+                {
+                    "device": device_kind,
+                    "workload": workload,
+                    "kmmap": kmmap,
+                    "aquila": aquila,
+                    "throughput_ratio": aquila["throughput"]
+                    / max(1.0, kmmap["throughput"]),
+                    "avg_latency_ratio": kmmap["mean_latency_cycles"]
+                    / max(1.0, aquila["mean_latency_cycles"]),
+                    "p999_ratio": kmmap["p999_cycles"]
+                    / max(1.0, aquila["p999_cycles"]),
+                }
+            )
+    return rows

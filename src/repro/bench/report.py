@@ -1,0 +1,80 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+report, plus a paper-vs-measured line per headline claim, so
+``pytest benchmarks/ -s`` regenerates every table and figure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (cells are str()-ed; floats get 3 significant)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The formatted table as a string."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the table with surrounding blank lines."""
+        print()
+        print(self.render())
+        print()
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ratio_line(
+    label: str,
+    paper_value: Optional[float],
+    measured_value: float,
+    unit: str = "x",
+) -> str:
+    """A "claim: paper vs measured" line for EXPERIMENTS.md-style output."""
+    paper = f"{paper_value:.2f}{unit}" if paper_value is not None else "n/a"
+    return f"  {label}: paper {paper} | measured {measured_value:.2f}{unit}"
+
+
+def print_claims(title: str, claims: List[str]) -> None:
+    """Print a block of paper-vs-measured claim lines."""
+    print(f"\n{title}")
+    for claim in claims:
+        print(claim)
+    print()

@@ -1,0 +1,8 @@
+"""DRAM cache implementations: kernel page cache, Aquila cache, user cache."""
+
+from repro.cache.aquila_cache import AquilaCache
+from repro.cache.base import CachePage
+from repro.cache.kernel_cache import KernelPageCache
+from repro.cache.user_cache import UserSpaceCache
+
+__all__ = ["AquilaCache", "CachePage", "KernelPageCache", "UserSpaceCache"]

@@ -1,0 +1,30 @@
+"""Shared constants, units, and error types."""
+
+from repro.common import constants, units
+from repro.common.errors import (
+    BlobNotFoundError,
+    ConfigError,
+    DeviceError,
+    KeyNotFoundError,
+    OutOfMemoryError,
+    OutOfSpaceError,
+    ProtectionFault,
+    ReproError,
+    SegmentationFault,
+    SimulationError,
+)
+
+__all__ = [
+    "constants",
+    "units",
+    "BlobNotFoundError",
+    "ConfigError",
+    "DeviceError",
+    "KeyNotFoundError",
+    "OutOfMemoryError",
+    "OutOfSpaceError",
+    "ProtectionFault",
+    "ReproError",
+    "SegmentationFault",
+    "SimulationError",
+]

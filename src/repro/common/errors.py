@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Aquila reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SegmentationFault(ReproError):
+    """An access hit a virtual address with no valid mapping (SIGSEGV)."""
+
+    def __init__(self, address: int, message: str = "") -> None:
+        detail = message or f"invalid access to 0x{address:x}"
+        super().__init__(detail)
+        self.address = address
+
+
+class ProtectionFault(ReproError):
+    """An access violated the protection flags of a valid mapping."""
+
+    def __init__(self, address: int, message: str = "") -> None:
+        detail = message or f"protection violation at 0x{address:x}"
+        super().__init__(detail)
+        self.address = address
+
+
+class DeviceError(ReproError):
+    """A storage device rejected or failed an I/O request."""
+
+
+class OutOfSpaceError(DeviceError):
+    """A write extended past the device or blob capacity."""
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated machine ran out of physical frames."""
+
+
+class BlobNotFoundError(ReproError):
+    """A blobstore lookup referenced a missing blob id or name."""
+
+
+class KeyNotFoundError(ReproError):
+    """A key-value store lookup did not find the key."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the discrete-event executor."""

@@ -1,0 +1,18 @@
+"""Aquila library OS: the paper's primary contribution.
+
+Public entry point::
+
+    from repro.core import Aquila, AquilaConfig
+
+    aquila = Aquila(machine, device, AquilaConfig(cache_pages=2048, io_path="dax"))
+    aquila.enter(main_thread)                   # once, in main()
+    aquila.register_thread(worker)              # once per thread
+    f = aquila.open(main_thread, "/data/file", size_bytes=1 << 20)
+    mapping = aquila.mmap(main_thread, f)       # intercepted, no vmcall
+    data = mapping.load(main_thread, 0, 4096)   # hits are hardware-only
+"""
+
+from repro.core.config import AquilaConfig
+from repro.core.libos import Aquila
+
+__all__ = ["Aquila", "AquilaConfig"]

@@ -1,0 +1,30 @@
+"""Device models: backing stores, NVMe, pmem/DAX, SPDK blobstore, I/O paths."""
+
+from repro.devices.blobstore import CLUSTER_SIZE, Blob, Blobstore, FileBlobNamespace
+from repro.devices.block import BackingStore, BlockDevice, DeviceTimeline
+from repro.devices.io_engines import (
+    DaxIO,
+    HostSyscallIO,
+    IOPath,
+    KernelFaultIO,
+    SpdkIO,
+)
+from repro.devices.nvme import NvmeDevice
+from repro.devices.pmem import PmemDevice
+
+__all__ = [
+    "CLUSTER_SIZE",
+    "Blob",
+    "Blobstore",
+    "FileBlobNamespace",
+    "BackingStore",
+    "BlockDevice",
+    "DeviceTimeline",
+    "DaxIO",
+    "HostSyscallIO",
+    "IOPath",
+    "KernelFaultIO",
+    "SpdkIO",
+    "NvmeDevice",
+    "PmemDevice",
+]

@@ -1,0 +1,181 @@
+"""SPDK Blobstore model: a flat namespace of resizable blobs.
+
+Aquila gives applications a file abstraction over SPDK by translating
+files to *blobs* — "a flat namespace of blobs, where each blob, identified
+by a unique number, can be created/resized/deleted at runtime, and also
+supports extended attributes" (paper Section 3.3).  Aquila uses the direct
+(unbuffered) Blobstore I/O path, not BlobFS's cached one.
+
+Blobs allocate device space in clusters; the cluster map provides the
+blob-offset -> device-offset translation that the Aquila engine performs
+on every miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common import units
+from repro.common.errors import BlobNotFoundError, OutOfSpaceError
+from repro.devices.block import BlockDevice
+from repro.devices.io_engines import IOPath, SpdkIO
+from repro.sim.clock import CycleClock
+
+#: SPDK's default cluster size.
+CLUSTER_SIZE = 1 * units.MIB
+
+
+class Blob:
+    """One blob: an ordered list of device clusters plus xattrs."""
+
+    def __init__(self, blob_id: int) -> None:
+        self.blob_id = blob_id
+        self.clusters: List[int] = []   # device cluster indices, in order
+        self.xattrs: Dict[str, bytes] = {}
+
+    @property
+    def size_bytes(self) -> int:
+        """Current blob capacity."""
+        return len(self.clusters) * CLUSTER_SIZE
+
+
+class Blobstore:
+    """Cluster-granularity blob allocator over one block device."""
+
+    def __init__(self, device: BlockDevice, io_path: Optional[IOPath] = None) -> None:
+        self.device = device
+        self.io_path = io_path if io_path is not None else SpdkIO(device)
+        self._blobs: Dict[int, Blob] = {}
+        self._next_id = 1
+        total_clusters = device.store.capacity_bytes // CLUSTER_SIZE
+        self._free_clusters: List[int] = list(range(total_clusters - 1, -1, -1))
+
+    # -- namespace management ---------------------------------------------
+
+    def create(self, size_bytes: int = 0) -> int:
+        """Create a blob of at least ``size_bytes``; returns its id."""
+        blob = Blob(self._next_id)
+        self._next_id += 1
+        self._blobs[blob.blob_id] = blob
+        if size_bytes:
+            self.resize(blob.blob_id, size_bytes)
+        return blob.blob_id
+
+    def get(self, blob_id: int) -> Blob:
+        """The blob with ``blob_id`` (raises if missing)."""
+        blob = self._blobs.get(blob_id)
+        if blob is None:
+            raise BlobNotFoundError(f"blob {blob_id} does not exist")
+        return blob
+
+    def resize(self, blob_id: int, new_size_bytes: int) -> None:
+        """Grow or shrink a blob to hold ``new_size_bytes``."""
+        blob = self.get(blob_id)
+        needed = (new_size_bytes + CLUSTER_SIZE - 1) // CLUSTER_SIZE
+        while len(blob.clusters) < needed:
+            if not self._free_clusters:
+                raise OutOfSpaceError("blobstore out of clusters")
+            blob.clusters.append(self._free_clusters.pop())
+        while len(blob.clusters) > needed:
+            self._free_clusters.append(blob.clusters.pop())
+
+    def delete(self, blob_id: int) -> None:
+        """Delete a blob, returning its clusters to the free pool."""
+        blob = self.get(blob_id)
+        self._free_clusters.extend(blob.clusters)
+        del self._blobs[blob_id]
+
+    def set_xattr(self, blob_id: int, name: str, value: bytes) -> None:
+        """Attach an extended attribute to a blob."""
+        self.get(blob_id).xattrs[name] = bytes(value)
+
+    def get_xattr(self, blob_id: int, name: str) -> bytes:
+        """Read an extended attribute (raises KeyError if absent)."""
+        return self.get(blob_id).xattrs[name]
+
+    def blob_ids(self) -> List[int]:
+        """All live blob ids, sorted."""
+        return sorted(self._blobs)
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated device space."""
+        return len(self._free_clusters) * CLUSTER_SIZE
+
+    # -- address translation and I/O --------------------------------------
+
+    def device_offset(self, blob_id: int, offset: int) -> int:
+        """Translate a blob-relative offset to a device byte offset."""
+        blob = self.get(blob_id)
+        cluster_index = offset // CLUSTER_SIZE
+        if cluster_index >= len(blob.clusters):
+            raise OutOfSpaceError(
+                f"offset {offset} beyond blob {blob_id} size {blob.size_bytes}"
+            )
+        return blob.clusters[cluster_index] * CLUSTER_SIZE + offset % CLUSTER_SIZE
+
+    def read(self, clock: CycleClock, blob_id: int, offset: int, nbytes: int,
+             category: str = "io.blob") -> bytes:
+        """Read a range of a blob (may span clusters)."""
+        chunks = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            in_cluster = pos % CLUSTER_SIZE
+            take = min(remaining, CLUSTER_SIZE - in_cluster)
+            dev_offset = self.device_offset(blob_id, pos)
+            chunks.append(self.io_path.read(clock, dev_offset, take, category))
+            pos += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def write(self, clock: CycleClock, blob_id: int, offset: int, data: bytes,
+              category: str = "io.blob") -> None:
+        """Write a range of a blob, growing it if needed."""
+        end = offset + len(data)
+        if end > self.get(blob_id).size_bytes:
+            self.resize(blob_id, end)
+        pos = offset
+        written = 0
+        while written < len(data):
+            in_cluster = pos % CLUSTER_SIZE
+            take = min(len(data) - written, CLUSTER_SIZE - in_cluster)
+            dev_offset = self.device_offset(blob_id, pos)
+            self.io_path.write(clock, dev_offset, data[written : written + take], category)
+            pos += take
+            written += take
+
+
+class FileBlobNamespace:
+    """File-name -> blob translation (Aquila's open/mmap interception).
+
+    "Aquila supports the translation from files to blobs transparently.
+    For this purpose, we intercept open and mmap calls in non-root ring 0"
+    (paper Section 3.3).
+    """
+
+    def __init__(self, blobstore: Blobstore) -> None:
+        self.blobstore = blobstore
+        self._by_name: Dict[str, int] = {}
+
+    def open(self, path: str, create: bool = True, size_bytes: int = 0) -> int:
+        """Resolve ``path`` to a blob id, creating the blob if allowed."""
+        blob_id = self._by_name.get(path)
+        if blob_id is None:
+            if not create:
+                raise BlobNotFoundError(f"no blob for file {path!r}")
+            blob_id = self.blobstore.create(size_bytes)
+            self.blobstore.set_xattr(blob_id, "name", path.encode())
+            self._by_name[path] = blob_id
+        return blob_id
+
+    def unlink(self, path: str) -> None:
+        """Remove the file name and delete its blob."""
+        blob_id = self._by_name.pop(path, None)
+        if blob_id is None:
+            raise BlobNotFoundError(f"no blob for file {path!r}")
+        self.blobstore.delete(blob_id)
+
+    def paths(self) -> List[str]:
+        """All known file names, sorted."""
+        return sorted(self._by_name)

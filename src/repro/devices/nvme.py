@@ -1,0 +1,45 @@
+"""Intel Optane SSD DC P4800X model (the paper's NVMe device).
+
+Datasheet characteristics the paper relies on (Section 5 and [28]):
+
+* 375 GB capacity,
+* < 10 µs 4 KB random read/write latency,
+* ~550 K random read IOPS / ~500 K random write IOPS,
+* ~2.4 GB/s sequential read, ~2.0 GB/s sequential write.
+
+At 2.4 GHz, 10 µs = 24 000 cycles and 2.4 GB/s = 1 byte/cycle.  The fixed
+latency covers command processing + media access; the per-byte term covers
+the transfer so that large (1–2 MB) compaction writes are bandwidth-bound,
+matching the paper's note that background writes saturate the device.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.devices.block import BlockDevice
+
+NVME_READ_CYCLES_PER_BYTE = units.CPU_FREQ_HZ / (2.4 * units.GIB)
+NVME_WRITE_CYCLES_PER_BYTE = units.CPU_FREQ_HZ / (2.0 * units.GIB)
+
+#: Fixed command latency chosen so a 4 KB access totals 10 us at 2.4 GHz.
+NVME_READ_LATENCY_CYCLES = units.us_to_cycles(10.0) - units.PAGE_SIZE * NVME_READ_CYCLES_PER_BYTE
+NVME_WRITE_LATENCY_CYCLES = units.us_to_cycles(10.0) - units.PAGE_SIZE * NVME_WRITE_CYCLES_PER_BYTE
+
+NVME_READ_IOPS = 550_000
+NVME_WRITE_IOPS = 500_000
+
+
+class NvmeDevice(BlockDevice):
+    """A P4800X-like NVMe SSD."""
+
+    def __init__(self, capacity_bytes: int = 375 * units.GIB, name: str = "nvme0") -> None:
+        super().__init__(
+            name=name,
+            capacity_bytes=capacity_bytes,
+            read_latency_cycles=NVME_READ_LATENCY_CYCLES,
+            write_latency_cycles=NVME_WRITE_LATENCY_CYCLES,
+            read_cycles_per_byte=NVME_READ_CYCLES_PER_BYTE,
+            write_cycles_per_byte=NVME_WRITE_CYCLES_PER_BYTE,
+            read_iops_cap=NVME_READ_IOPS,
+            write_iops_cap=NVME_WRITE_IOPS,
+        )

@@ -1,0 +1,22 @@
+"""Graph processing: R-MAT generation, mmap-backed heaps, Ligra-style
+BFS plus PageRank and connected components."""
+
+from repro.graph.algorithms import ParallelComponents, ParallelPageRank
+from repro.graph.ligra import UNVISITED, BFSResult, HeapGraph, ParallelBFS
+from repro.graph.mmap_heap import DramHeap, HeapArray, MmapHeap
+from repro.graph.rmat import CSRGraph, generate_rmat_edges, make_rmat_csr
+
+__all__ = [
+    "UNVISITED",
+    "BFSResult",
+    "HeapGraph",
+    "ParallelBFS",
+    "ParallelComponents",
+    "ParallelPageRank",
+    "DramHeap",
+    "HeapArray",
+    "MmapHeap",
+    "CSRGraph",
+    "generate_rmat_edges",
+    "make_rmat_csr",
+]

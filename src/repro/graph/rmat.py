@@ -1,0 +1,89 @@
+"""R-MAT recursive graph generator (Chakrabarti et al., cited by the paper).
+
+The paper's Ligra experiment (Section 6.2): "we generate a R-Mat graph of
+100M vertices, with the number of directed edges set to 10x the number of
+vertices", producing a read-mostly random access pattern under BFS.
+
+Standard R-MAT parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) — the
+Graph500 values — yield the heavy-tailed degree distribution that makes
+frontier sizes swing the way real social graphs do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def generate_rmat_edges(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 42,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> List[Tuple[int, int]]:
+    """Directed edge list of an R-MAT graph (duplicates allowed, like R-MAT)."""
+    if num_vertices <= 0 or num_edges < 0:
+        raise ValueError("graph dimensions must be positive")
+    scale = max(1, (num_vertices - 1).bit_length())
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(num_edges):
+        src = dst = 0
+        for _ in range(scale):
+            r = rng.random()
+            if r < a:
+                quadrant = (0, 0)
+            elif r < a + b:
+                quadrant = (0, 1)
+            elif r < a + b + c:
+                quadrant = (1, 0)
+            else:
+                quadrant = (1, 1)
+            src = (src << 1) | quadrant[0]
+            dst = (dst << 1) | quadrant[1]
+        edges.append((src % num_vertices, dst % num_vertices))
+    return edges
+
+
+class CSRGraph:
+    """Compressed sparse row adjacency: offsets + edge targets."""
+
+    def __init__(self, num_vertices: int, edges: List[Tuple[int, int]]) -> None:
+        self.num_vertices = num_vertices
+        self.num_edges = len(edges)
+        degree = [0] * num_vertices
+        for src, _ in edges:
+            degree[src] += 1
+        self.offsets = [0] * (num_vertices + 1)
+        for v in range(num_vertices):
+            self.offsets[v + 1] = self.offsets[v] + degree[v]
+        self.targets = [0] * len(edges)
+        cursor = list(self.offsets[:-1])
+        for src, dst in edges:
+            self.targets[cursor[src]] = dst
+            cursor[src] += 1
+
+    def out_degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex``."""
+        return self.offsets[vertex + 1] - self.offsets[vertex]
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Out-neighbors of ``vertex``."""
+        return self.targets[self.offsets[vertex] : self.offsets[vertex + 1]]
+
+    def largest_out_degree_vertex(self) -> int:
+        """A good BFS root: the highest-out-degree vertex."""
+        best, best_deg = 0, -1
+        for v in range(self.num_vertices):
+            deg = self.out_degree(v)
+            if deg > best_deg:
+                best, best_deg = v, deg
+        return best
+
+
+def make_rmat_csr(num_vertices: int, edge_factor: int = 10, seed: int = 42) -> CSRGraph:
+    """Convenience: R-MAT CSR with ``edge_factor`` edges per vertex."""
+    edges = generate_rmat_edges(num_vertices, num_vertices * edge_factor, seed)
+    return CSRGraph(num_vertices, edges)

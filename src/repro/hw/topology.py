@@ -1,0 +1,81 @@
+"""CPU and NUMA topology of the simulated testbed.
+
+The paper's server (Section 5): dual-socket Intel Xeon E5-2630 v3, 8
+physical cores per socket, 2-way hyperthreading, 32 hardware threads total,
+two NUMA nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Topology:
+    """Maps hardware-thread ids to physical cores and NUMA nodes."""
+
+    def __init__(
+        self,
+        sockets: int = 2,
+        cores_per_socket: int = 8,
+        threads_per_core: int = 2,
+    ) -> None:
+        if sockets <= 0 or cores_per_socket <= 0 or threads_per_core <= 0:
+            raise ValueError("topology dimensions must be positive")
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+        self.threads_per_core = threads_per_core
+
+    @property
+    def num_cores(self) -> int:
+        """Physical cores in the machine."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def num_hw_threads(self) -> int:
+        """Hardware threads (hyperthreads) in the machine."""
+        return self.num_cores * self.threads_per_core
+
+    @property
+    def num_numa_nodes(self) -> int:
+        """NUMA nodes (one per socket)."""
+        return self.sockets
+
+    def core_of(self, hw_thread: int) -> int:
+        """Physical core hosting ``hw_thread``.
+
+        Hardware threads are numbered the way Linux enumerates them on this
+        platform: ids ``[0, num_cores)`` are the first hyperthread of each
+        core and ``[num_cores, 2*num_cores)`` are the siblings, so threads
+        ``i`` and ``i + num_cores`` share a core.
+        """
+        self._check(hw_thread)
+        return hw_thread % self.num_cores
+
+    def numa_node_of(self, hw_thread: int) -> int:
+        """NUMA node hosting ``hw_thread`` (cores striped across sockets)."""
+        return self.core_of(hw_thread) // self.cores_per_socket
+
+    def hw_threads_of_node(self, node: int) -> List[int]:
+        """All hardware-thread ids on NUMA node ``node``."""
+        if not 0 <= node < self.num_numa_nodes:
+            raise ValueError(f"invalid NUMA node {node}")
+        return [
+            t for t in range(self.num_hw_threads) if self.numa_node_of(t) == node
+        ]
+
+    def spread_order(self) -> List[int]:
+        """Hardware-thread ids in one-thread-per-core-first order.
+
+        Experiments pin N application threads the way the paper does:
+        fill distinct physical cores before hyperthread siblings.
+        """
+        return list(range(self.num_hw_threads))
+
+    def _check(self, hw_thread: int) -> None:
+        if not 0 <= hw_thread < self.num_hw_threads:
+            raise ValueError(
+                f"hw thread {hw_thread} out of range 0..{self.num_hw_threads - 1}"
+            )
+
+
+DEFAULT_TOPOLOGY = Topology()

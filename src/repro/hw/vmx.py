@@ -1,0 +1,73 @@
+"""VMX mode/ring cost model: traps, vmexits, vmcalls, syscalls.
+
+This module is the heart of the paper's performance argument.  A Linux
+application lives in (root) ring 3 and pays 1287 cycles to trap into the
+kernel for every page fault.  An Aquila application lives in VMX non-root
+ring 0, where a page-fault exception is delivered in 552 cycles without a
+protection-domain switch (paper Section 6.4, Figure 8(a)).  The prices of
+the four transition types are centralized here along with counters so
+benchmarks can report how often each was taken.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common import constants
+from repro.sim.clock import CycleClock
+
+
+class ExecutionDomain(Enum):
+    """Where the application code runs."""
+
+    ROOT_RING3 = "root-ring3"          # normal Linux process
+    NONROOT_RING0 = "nonroot-ring0"    # Aquila / Dune guest
+
+
+class VMXCostModel:
+    """Charges protection-domain transition costs and counts them."""
+
+    def __init__(self, domain: ExecutionDomain) -> None:
+        self.domain = domain
+        self.traps = 0
+        self.syscalls = 0
+        self.vmcalls = 0
+        self.vmexits = 0
+
+    def fault_entry(self, clock: CycleClock, category: str = "fault.trap") -> None:
+        """Deliver a page-fault exception to the handler.
+
+        Ring 3 pays the full kernel trap; non-root ring 0 pays only
+        exception delivery on the alternate stack (Section 4.2).
+        """
+        self.traps += 1
+        if self.domain is ExecutionDomain.ROOT_RING3:
+            clock.charge(category, constants.TRAP_RING3_CYCLES)
+        else:
+            clock.charge(category, constants.TRAP_AQUILA_CYCLES)
+
+    def syscall(self, clock: CycleClock, category: str = "syscall") -> None:
+        """One system call to the kernel the application runs under.
+
+        From non-root ring 0 a call that must reach the *host* OS is a
+        vmcall (Section 4.4); intercepted calls never come through here —
+        they are plain function calls inside Aquila.
+        """
+        self.syscalls += 1
+        if self.domain is ExecutionDomain.ROOT_RING3:
+            clock.charge(category, constants.SYSCALL_CYCLES)
+        else:
+            self.vmcalls += 1
+            self.vmexits += 1
+            clock.charge(category, constants.VMCALL_CYCLES)
+
+    def vmexit(self, clock: CycleClock, category: str = "vmexit") -> None:
+        """An explicit vmexit (only meaningful for non-root execution)."""
+        self.vmexits += 1
+        clock.charge(category, constants.VMEXIT_CYCLES)
+
+    def trap_cost(self) -> int:
+        """Cycles one fault-entry transition costs in this domain."""
+        if self.domain is ExecutionDomain.ROOT_RING3:
+            return constants.TRAP_RING3_CYCLES
+        return constants.TRAP_AQUILA_CYCLES

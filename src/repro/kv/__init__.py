@@ -1,0 +1,28 @@
+"""Key-value stores: RocksDB-like LSM over SSTs and Kreon-like log+B-tree."""
+
+from repro.kv.bloom import BloomFilter
+from repro.kv.btree import FileBTree, PageAllocator
+from repro.kv.env import DirectIOEnv, MmioEnv, StorageEnv
+from repro.kv.kreon import Kreon
+from repro.kv.lsm import LSMTree, merge_sorted_unique
+from repro.kv.memtable import TOMBSTONE, Memtable
+from repro.kv.rocksdb import RocksDB
+from repro.kv.sst import SSTable, SSTBuilder, build_sst
+
+__all__ = [
+    "BloomFilter",
+    "FileBTree",
+    "PageAllocator",
+    "DirectIOEnv",
+    "MmioEnv",
+    "StorageEnv",
+    "Kreon",
+    "LSMTree",
+    "merge_sorted_unique",
+    "TOMBSTONE",
+    "Memtable",
+    "RocksDB",
+    "SSTable",
+    "SSTBuilder",
+    "build_sst",
+]

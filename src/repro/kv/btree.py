@@ -1,0 +1,202 @@
+"""File-resident B+tree index (Kreon's per-level index, paper Section 5).
+
+Kreon "uses a log to store all keys and values and a B-Tree index per
+level for indexing".  The index nodes live *inside the memory-mapped
+volume*, so every node visited during a lookup is an mmio access — a
+page-cache hit costs nothing, a miss costs a page fault.  That is exactly
+the access pattern the paper exercises with kmmap/Aquila.
+
+Trees are immutable once built (Kreon levels are written by spills), so
+construction is a bottom-up bulk load of sorted (key, log-pointer) pairs.
+Node layout (one 4 KiB page per node)::
+
+    [u8 is_leaf][u16 count] then count * ([u16 klen][key][u64 pointer])
+
+For leaves the pointer is a value-log offset; for internal nodes it is the
+page number of the child.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common import units
+from repro.mmio.engine import Mapping
+from repro.sim.executor import SimThread
+
+_HEADER = struct.Struct("<BH")
+_ENTRY_FIXED = struct.Struct("<HQ")
+
+NODE_SIZE = units.PAGE_SIZE
+
+
+def _encode_node(is_leaf: bool, entries: List[Tuple[bytes, int]]) -> bytes:
+    parts = [_HEADER.pack(1 if is_leaf else 0, len(entries))]
+    for key, pointer in entries:
+        parts.append(_ENTRY_FIXED.pack(len(key), pointer))
+        parts.append(key)
+    blob = b"".join(parts)
+    if len(blob) > NODE_SIZE:
+        raise ValueError("node overflow")
+    return blob.ljust(NODE_SIZE, b"\x00")
+
+
+def _decode_node(blob: bytes) -> Tuple[bool, List[Tuple[bytes, int]]]:
+    is_leaf, count = _HEADER.unpack_from(blob, 0)
+    pos = _HEADER.size
+    entries = []
+    for _ in range(count):
+        klen, pointer = _ENTRY_FIXED.unpack_from(blob, pos)
+        pos += _ENTRY_FIXED.size
+        key = bytes(blob[pos : pos + klen])
+        pos += klen
+        entries.append((key, pointer))
+    return bool(is_leaf), entries
+
+
+def node_capacity(key_len: int) -> int:
+    """How many entries of ``key_len``-byte keys fit in one node."""
+    per_entry = _ENTRY_FIXED.size + key_len
+    return (NODE_SIZE - _HEADER.size) // per_entry
+
+
+class PageAllocator:
+    """Allocates index pages from the top of the volume downward.
+
+    Kreon manages its single file/device with a custom allocator
+    (Section 5); the log grows from the bottom, index pages from the top.
+    """
+
+    def __init__(self, volume_pages: int) -> None:
+        self._next = volume_pages - 1
+        self.allocated: List[int] = []
+
+    def allocate(self) -> int:
+        """Next free index page (from the top)."""
+        page = self._next
+        self._next -= 1
+        self.allocated.append(page)
+        return page
+
+    @property
+    def low_water_page(self) -> int:
+        """Lowest index page handed out (collision check vs the log)."""
+        return self._next + 1
+
+
+class FileBTree:
+    """Immutable bulk-loaded B+tree stored in a mapping."""
+
+    def __init__(self, mapping: Mapping, root_page: Optional[int], height: int,
+                 first_key: Optional[bytes], last_key: Optional[bytes],
+                 entry_count: int) -> None:
+        self.mapping = mapping
+        self.root_page = root_page
+        self.height = height
+        self.first_key = first_key
+        self.last_key = last_key
+        self.entry_count = entry_count
+        self.node_reads = 0
+
+    @classmethod
+    def build(
+        cls,
+        thread: SimThread,
+        mapping: Mapping,
+        allocator: PageAllocator,
+        sorted_entries: List[Tuple[bytes, int]],
+        fanout: Optional[int] = None,
+    ) -> "FileBTree":
+        """Bulk-load ``sorted_entries`` (strictly increasing keys)."""
+        if not sorted_entries:
+            return cls(mapping, None, 0, None, None, 0)
+        if fanout is None:
+            max_key = max(len(key) for key, _ in sorted_entries)
+            fanout = max(4, node_capacity(max_key))
+
+        def write_level(entries: List[Tuple[bytes, int]], is_leaf: bool) -> List[Tuple[bytes, int]]:
+            parents: List[Tuple[bytes, int]] = []
+            for start in range(0, len(entries), fanout):
+                chunk = entries[start : start + fanout]
+                page = allocator.allocate()
+                mapping.store(
+                    thread, page * units.PAGE_SIZE, _encode_node(is_leaf, chunk)
+                )
+                parents.append((chunk[-1][0], page))
+            return parents
+
+        level = write_level(sorted_entries, is_leaf=True)
+        height = 1
+        while len(level) > 1:
+            level = write_level(level, is_leaf=False)
+            height += 1
+        return cls(
+            mapping,
+            root_page=level[0][1],
+            height=height,
+            first_key=sorted_entries[0][0],
+            last_key=sorted_entries[-1][0],
+            entry_count=len(sorted_entries),
+        )
+
+    def _read_node(self, thread: SimThread, page: int) -> Tuple[bool, List[Tuple[bytes, int]]]:
+        self.node_reads += 1
+        blob = self.mapping.load(thread, page * units.PAGE_SIZE, NODE_SIZE)
+        return _decode_node(blob)
+
+    def lookup(self, thread: SimThread, key: bytes) -> Optional[int]:
+        """Log-pointer for ``key`` or None (each node visit is mmio)."""
+        if self.root_page is None:
+            return None
+        if self.first_key is not None and not self.first_key <= key <= self.last_key:
+            return None
+        page = self.root_page
+        while True:
+            is_leaf, entries = self._read_node(thread, page)
+            keys = [k for k, _ in entries]
+            if is_leaf:
+                slot = bisect_left(keys, key)
+                if slot < len(keys) and keys[slot] == key:
+                    return entries[slot][1]
+                return None
+            # Internal keys are the last key of each child: descend into
+            # the first child whose last key >= the search key.
+            slot = bisect_left(keys, key)
+            if slot >= len(entries):
+                return None
+            page = entries[slot][1]
+
+    def _leaf_pages(self, thread: SimThread) -> Iterator[List[Tuple[bytes, int]]]:
+        """All leaves left-to-right (spill input / scans)."""
+        if self.root_page is None:
+            return
+
+        def walk(page: int) -> Iterator[List[Tuple[bytes, int]]]:
+            is_leaf, entries = self._read_node(thread, page)
+            if is_leaf:
+                yield entries
+            else:
+                for _, child in entries:
+                    yield from walk(child)
+
+        yield from walk(self.root_page)
+
+    def items(self, thread: SimThread) -> Iterator[Tuple[bytes, int]]:
+        """All (key, pointer) pairs in key order."""
+        for leaf in self._leaf_pages(thread):
+            yield from leaf
+
+    def scan_from(self, thread: SimThread, start: bytes, count: int) -> List[Tuple[bytes, int]]:
+        """Up to ``count`` (key, pointer) pairs with key >= start."""
+        out: List[Tuple[bytes, int]] = []
+        for leaf in self._leaf_pages(thread):
+            if leaf and leaf[-1][0] < start:
+                continue
+            for key, pointer in leaf:
+                if key >= start:
+                    out.append((key, pointer))
+                    if len(out) >= count:
+                        return out
+        return out

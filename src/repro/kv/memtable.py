@@ -1,0 +1,109 @@
+"""Skiplist-based memtable (the in-DRAM write buffer of both KV stores).
+
+RocksDB's default memtable is a concurrent skiplist; this is a classic
+single-writer skiplist with byte-string keys, tombstone support, and size
+accounting so the LSM knows when to flush.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+MAX_LEVEL = 12
+P = 0.25
+
+#: Sentinel distinguishing "key deleted" from "key absent".
+TOMBSTONE = b"\x00__TOMBSTONE__\x00"
+
+
+class _SkipNode:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[bytes], value: Optional[bytes], level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_SkipNode"]] = [None] * level
+
+
+class Memtable:
+    """Sorted in-memory key-value buffer."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _SkipNode(None, None, MAX_LEVEL)
+        self._level = 1
+        self._rng = random.Random(seed)
+        self._count = 0
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Payload bytes buffered (flush trigger)."""
+        return self._bytes
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < MAX_LEVEL and self._rng.random() < P:
+            level += 1
+        return level
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        update: List[_SkipNode] = [self._head] * MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+            update[i] = node
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            self._bytes += len(value) - len(candidate.value)
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        fresh = _SkipNode(key, value, level)
+        for i in range(level):
+            fresh.forward[i] = update[i].forward[i]
+            update[i].forward[i] = fresh
+        self._count += 1
+        self._bytes += len(key) + len(value)
+
+    def delete(self, key: bytes) -> None:
+        """Record a deletion (tombstone)."""
+        self.put(key, TOMBSTONE)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Latest value for ``key`` (TOMBSTONE if deleted, None if absent)."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        return None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All entries in key order (tombstones included)."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield (node.key, node.value)
+            node = node.forward[0]
+
+    def range_items(self, start: bytes, count: int) -> List[Tuple[bytes, bytes]]:
+        """Up to ``count`` entries with key >= ``start`` in order."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < start:
+                node = node.forward[i]
+        out: List[Tuple[bytes, bytes]] = []
+        node = node.forward[0]
+        while node is not None and len(out) < count:
+            out.append((node.key, node.value))
+            node = node.forward[0]
+        return out

@@ -1,0 +1,353 @@
+"""Red-black tree keyed by integer (device page offset).
+
+Aquila keeps dirty pages in **per-core red-black trees** so that writeback
+can emit pages sorted by device offset and merge adjacent pages into large
+I/Os (paper Section 3.2: "Dirty pages need to be sorted by device offset
+... we use per-core red-black trees").  The Linux kernel also uses an
+rb-tree for VMAs; we reuse this implementation there.
+
+This is a complete textbook (CLRS) red-black tree with insert, delete,
+lookup, minimum, and sorted iteration.  Invariants (checked by
+``validate``, exercised by property-based tests):
+
+1. every node is red or black;
+2. the root is black;
+3. red nodes have black children;
+4. every root-to-leaf path has the same number of black nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, value: Any, color: bool, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RBTree:
+    """Sorted int-keyed map with O(log n) insert/delete/lookup."""
+
+    def __init__(self) -> None:
+        self._nil = _Node.__new__(_Node)
+        self._nil.key = 0
+        self._nil.value = None
+        self._nil.color = BLACK
+        self._nil.left = self._nil
+        self._nil.right = self._nil
+        self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not self._nil
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- search -------------------------------------------------------------
+
+    def _find(self, key: int) -> _Node:
+        node = self._root
+        while node is not self._nil:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return self._nil
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value stored under ``key`` or ``default``."""
+        node = self._find(key)
+        return default if node is self._nil else node.value
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key or None when empty."""
+        if self._root is self._nil:
+            return None
+        return self._minimum(self._root).key
+
+    def max_key(self) -> Optional[int]:
+        """Largest key or None when empty."""
+        if self._root is self._nil:
+            return None
+        node = self._root
+        while node.right is not self._nil:
+            node = node.right
+        return node.key
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def ceiling(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Smallest (key, value) with key >= ``key``, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not self._nil:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        if best is None:
+            return None
+        return (best.key, best.value)
+
+    def floor(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Largest (key, value) with key <= ``key``, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not self._nil:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        if best is None:
+            return None
+        return (best.key, best.value)
+
+    # -- rotation -----------------------------------------------------------
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # -- insert -------------------------------------------------------------
+
+    def insert(self, key: int, value: Any = None) -> bool:
+        """Insert or update ``key``; returns True if the key was new."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return False
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value, RED, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+        return True
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = grand.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    # -- delete -------------------------------------------------------------
+
+    def remove(self, key: int) -> bool:
+        """Delete ``key``; returns True if it was present."""
+        z = self._find(key)
+        if z is self._nil:
+            return False
+        self._size -= 1
+        y = z
+        y_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_color is BLACK:
+            self._delete_fixup(x)
+        return True
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    def pop_min(self) -> Optional[Tuple[int, Any]]:
+        """Remove and return the smallest (key, value), or None."""
+        if self._root is self._nil:
+            return None
+        node = self._minimum(self._root)
+        item = (node.key, node.value)
+        self.remove(node.key)
+        return item
+
+    # -- iteration ----------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order (sorted by key) iteration of (key, value) pairs."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        """Sorted key iteration."""
+        for key, _ in self.items():
+            yield key
+
+    # -- validation (for tests) ----------------------------------------------
+
+    def validate(self) -> None:
+        """Assert all red-black invariants; raises AssertionError on breach."""
+        assert self._root.color is BLACK, "root must be black"
+
+        def walk(node: _Node, low: float, high: float) -> int:
+            if node is self._nil:
+                return 1
+            assert low < node.key < high, "BST order violated"
+            if node.color is RED:
+                assert node.left.color is BLACK, "red node with red left child"
+                assert node.right.color is BLACK, "red node with red right child"
+            left_black = walk(node.left, low, node.key)
+            right_black = walk(node.right, node.key, high)
+            assert left_black == right_black, "black-height mismatch"
+            return left_black + (1 if node.color is BLACK else 0)
+
+        walk(self._root, float("-inf"), float("inf"))

@@ -1,0 +1,370 @@
+"""The mmio engine interface and shared access protocol.
+
+An *engine* plays the role of one process's memory-mapped I/O stack: a
+page table, a VMA store, a DRAM cache, and a fault protocol.  Engines
+share the mmap-compatible surface (``mmap``/``munmap``/``madvise``/
+``msync``/``load``/``store``), so applications (RocksDB, Kreon, Ligra, the
+microbenchmark) run unmodified on any of them — the paper's
+minimal-modification property.
+
+The access fast path is the same for every engine, because it is the
+hardware's: a mapped page costs a load/store plus at most a TLB refill.
+Engines differ only in what a *fault* costs and how the cache behaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common import constants, units
+from repro.common.errors import ProtectionFault, SegmentationFault
+from repro.devices.block import BlockDevice
+from repro.hw.machine import Machine
+from repro.hw.page_table import PageTable
+from repro.hw.vmx import VMXCostModel
+from repro.cache.base import CachePage
+from repro.mmio.files import BackingFile
+from repro.mmio.vma import (
+    MADV_DONTNEED,
+    MADV_NORMAL,
+    MADV_RANDOM,
+    MADV_SEQUENTIAL,
+    MADV_WILLNEED,
+    PROT_READ,
+    PROT_WRITE,
+    VMA,
+    VMAStore,
+)
+from repro.sim.executor import SimThread
+
+
+class Mapping:
+    """A live mapping handle returned by ``MmioEngine.mmap``."""
+
+    def __init__(self, engine: "MmioEngine", vma: VMA) -> None:
+        self.engine = engine
+        self.vma = vma
+        self.active = True
+
+    @property
+    def size_bytes(self) -> int:
+        """Length of the mapped range in bytes."""
+        return self.vma.num_pages * units.PAGE_SIZE
+
+    def load(self, thread: SimThread, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at byte ``offset`` within the mapping."""
+        return self.engine.load(thread, self, offset, nbytes)
+
+    def store(self, thread: SimThread, offset: int, data: bytes) -> None:
+        """Write ``data`` at byte ``offset`` within the mapping."""
+        self.engine.store(thread, self, offset, data)
+
+    def msync(self, thread: SimThread) -> int:
+        """Flush this mapping's dirty pages; returns pages written."""
+        return self.engine.msync(thread, self)
+
+    def mprotect(self, thread: SimThread, prot: int) -> None:
+        """Change the mapping's protection flags."""
+        self.engine.mprotect(thread, self, prot)
+
+    def mremap(self, thread: SimThread, new_num_pages: int) -> None:
+        """Grow or shrink the mapping (moves the virtual range)."""
+        self.engine.mremap(thread, self, new_num_pages)
+
+    def madvise(self, thread: SimThread, advice: int) -> None:
+        """Set the access-pattern advice for this mapping."""
+        self.engine.madvise(thread, self, advice)
+
+    def munmap(self, thread: SimThread) -> None:
+        """Tear this mapping down."""
+        self.engine.munmap(thread, self)
+
+
+class MmioEngine:
+    """Abstract memory-mapped I/O engine."""
+
+    name = "abstract"
+
+    def __init__(self, machine: Machine, vmas: VMAStore, vmx: VMXCostModel) -> None:
+        self.machine = machine
+        self.vmas = vmas
+        self.vmx = vmx
+        self.page_table = PageTable()
+        self.faults = 0
+        self.major_faults = 0      # needed device I/O
+        self.minor_faults = 0      # page present (race/hit) or write-protect
+        self.wp_faults = 0         # write-protect (dirty-tracking) subset
+
+    # -- mmap-compatible surface ------------------------------------------
+
+    def mmap(
+        self,
+        thread: SimThread,
+        file: BackingFile,
+        num_pages: Optional[int] = None,
+        file_start_page: int = 0,
+        prot: int = PROT_READ | PROT_WRITE,
+    ) -> Mapping:
+        """Map ``file`` into the address space (shared, file-backed)."""
+        self._charge_range_update(thread)
+        vma = self.vmas.mmap(thread.clock, file, num_pages, file_start_page, prot)
+        return Mapping(self, vma)
+
+    def munmap(self, thread: SimThread, mapping: Mapping) -> None:
+        """Destroy a mapping: flush dirty pages, drop PTEs and TLB entries."""
+        if not mapping.active:
+            return
+        self._charge_range_update(thread)
+        self.msync(thread, mapping)
+        vpns = [
+            vpn
+            for vpn, _ in self.page_table.mapped_range(
+                mapping.vma.start_vpn, mapping.vma.num_pages
+            )
+        ]
+        for vpn in vpns:
+            pte = self.page_table.remove(vpn)
+            page = self._cached_page(mapping.vma.file, mapping.vma.file_page_of(vpn))
+            if page is not None and pte is not None:
+                page.mapped_vpns.discard(vpn)
+        self._shootdown(thread, vpns)
+        self.vmas.remove(thread.clock, mapping.vma)
+        mapping.active = False
+
+    def madvise(self, thread: SimThread, mapping: Mapping, advice: int) -> None:
+        """Record access-pattern advice (affects readahead)."""
+        if advice not in (
+            MADV_NORMAL,
+            MADV_RANDOM,
+            MADV_SEQUENTIAL,
+            MADV_WILLNEED,
+            MADV_DONTNEED,
+        ):
+            raise ValueError(f"unknown madvise advice {advice}")
+        thread.clock.charge("syscall.madvise", self._advise_cost())
+        mapping.vma.advice = advice
+
+    def msync(self, thread: SimThread, mapping: Mapping) -> int:
+        """Write back this mapping's dirty pages (device-offset order)."""
+        raise NotImplementedError
+
+    def mprotect(self, thread: SimThread, mapping: Mapping, prot: int) -> None:
+        """Change an area's protection flags.
+
+        Dropping write permission downgrades every writable PTE and shoots
+        the stale translations down; granting it back is lazy — the next
+        store takes a protection fault as usual.
+        """
+        if not mapping.active:
+            raise SegmentationFault(0, "mprotect on unmapped region")
+        self._charge_range_update(thread)
+        vma = mapping.vma
+        vma.prot = prot
+        if prot & PROT_WRITE:
+            return
+        vpns: List[int] = []
+        for vpn, pte in self.page_table.mapped_range(vma.start_vpn, vma.num_pages):
+            if pte.writable:
+                pte.writable = False
+                vpns.append(vpn)
+        self._shootdown(thread, vpns)
+
+    def mremap(self, thread: SimThread, mapping: Mapping, new_num_pages: int) -> None:
+        """Grow or shrink a mapping (MREMAP_MAYMOVE semantics).
+
+        The area moves to a fresh virtual range; present PTEs migrate with
+        their frames (no data copies), the old translations are shot down,
+        and pages beyond a shrunken end simply lose their mappings (their
+        cached data is untouched — mremap does not truncate the file).
+        """
+        if not mapping.active:
+            raise SegmentationFault(0, "mremap on unmapped region")
+        if new_num_pages <= 0:
+            raise ValueError("mapping must keep at least one page")
+        old = mapping.vma
+        if new_num_pages == old.num_pages:
+            return
+        if old.file_start_page + new_num_pages > old.file.size_pages:
+            raise ValueError("mremap extends past end of file")
+        self._charge_range_update(thread)
+        new_vma = self.vmas.mmap(
+            thread.clock,
+            old.file,
+            num_pages=new_num_pages,
+            file_start_page=old.file_start_page,
+            prot=old.prot,
+        )
+        new_vma.advice = old.advice
+        old_vpns: List[int] = []
+        for vpn, pte in list(self.page_table.mapped_range(old.start_vpn, old.num_pages)):
+            rel = vpn - old.start_vpn
+            page = self._cached_page(old.file, old.file_page_of(vpn))
+            self.page_table.remove(vpn)
+            old_vpns.append(vpn)
+            if page is not None:
+                page.mapped_vpns.discard(vpn)
+            if rel < new_num_pages:
+                moved = self.page_table.install(
+                    new_vma.start_vpn + rel, pte.frame, writable=pte.writable
+                )
+                moved.dirty = pte.dirty
+                if page is not None:
+                    page.mapped_vpns.add(new_vma.start_vpn + rel)
+        self._shootdown(thread, old_vpns)
+        self.vmas.remove(thread.clock, old)
+        mapping.vma = new_vma
+
+    # -- loads and stores ---------------------------------------------------
+
+    def load(self, thread: SimThread, mapping: Mapping, offset: int, nbytes: int) -> bytes:
+        """Memory-read through the mapping; faults on unmapped pages."""
+        chunks = []
+        for page_offset, in_page, take in self._split(mapping, offset, nbytes):
+            frame = self._ensure_mapped(thread, mapping, page_offset, is_write=False)
+            chunks.append(self._pool().read_partial(frame, in_page, take))
+        return b"".join(chunks)
+
+    def store(self, thread: SimThread, mapping: Mapping, offset: int, data: bytes) -> None:
+        """Memory-write through the mapping; faults for dirty tracking."""
+        written = 0
+        for page_offset, in_page, take in self._split(mapping, offset, len(data)):
+            frame = self._ensure_mapped(thread, mapping, page_offset, is_write=True)
+            self._pool().write_partial(frame, in_page, data[written : written + take])
+            written += take
+
+    def _split(
+        self, mapping: Mapping, offset: int, nbytes: int
+    ) -> Iterable[Tuple[int, int, int]]:
+        if offset < 0 or nbytes < 0 or offset + nbytes > mapping.size_bytes:
+            raise SegmentationFault(
+                offset, f"access [{offset}, +{nbytes}) outside mapping"
+            )
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            in_page = pos & (units.PAGE_SIZE - 1)
+            take = min(remaining, units.PAGE_SIZE - in_page)
+            yield (pos - in_page, in_page, take)
+            pos += take
+            remaining -= take
+
+    def _ensure_mapped(
+        self, thread: SimThread, mapping: Mapping, page_offset: int, is_write: bool
+    ) -> int:
+        """The hardware access protocol for one page; returns its frame."""
+        if not mapping.active:
+            raise SegmentationFault(page_offset, "access to unmapped region")
+        if is_write and not mapping.vma.prot & PROT_WRITE:
+            raise ProtectionFault(page_offset, "write to read-only mapping")
+        self.machine.absorb_interference(thread)
+        vpn = mapping.vma.start_vpn + (page_offset >> units.PAGE_SHIFT)
+        pte = self.page_table.lookup(vpn)
+        if pte is not None and (not is_write or pte.writable):
+            # Pure hardware hit: no software on the path.
+            self.machine.tlb_of(thread).access(vpn, thread.clock)
+            thread.clock.charge("app.access", constants.LOAD_STORE_HIT_CYCLES)
+            pte.accessed = True
+            return pte.frame
+        if pte is not None and is_write and not pte.writable:
+            self.faults += 1
+            self.minor_faults += 1
+            self.wp_faults += 1
+            return self._write_protect_fault(thread, mapping.vma, vpn, pte)
+        self.faults += 1
+        return self._fault(thread, mapping.vma, vpn, is_write)
+
+    def invalidate_file(self, thread: SimThread, file: BackingFile) -> int:
+        """Drop every cached page of ``file`` without writeback (deletion).
+
+        Returns the number of pages dropped.  PTEs pointing at the dropped
+        pages are torn down with a shootdown, as truncation does.
+        """
+        pages = self._pages_of_file(file.file_id)
+        vpns: List[int] = []
+        for page in pages:
+            for vpn in page.mapped_vpns:
+                self.page_table.remove(vpn)
+                vpns.append(vpn)
+            page.mapped_vpns.clear()
+        self._shootdown(thread, vpns)
+        for page in pages:
+            self._drop_page(thread, page)
+        return len(pages)
+
+    def _pages_of_file(self, file_id: int) -> List[CachePage]:
+        raise NotImplementedError
+
+    def _drop_page(self, thread: SimThread, page: CachePage) -> None:
+        raise NotImplementedError
+
+    # -- engine-specific pieces ----------------------------------------------
+
+    def _fault(self, thread: SimThread, vma: VMA, vpn: int, is_write: bool) -> int:
+        """Handle a not-present fault; returns the frame mapped at ``vpn``."""
+        raise NotImplementedError
+
+    def _write_protect_fault(self, thread: SimThread, vma: VMA, vpn: int, pte) -> int:
+        """First write to a read-only-mapped page: mark dirty, upgrade PTE."""
+        raise NotImplementedError
+
+    def _cached_page(self, file: BackingFile, file_page: int) -> Optional[CachePage]:
+        raise NotImplementedError
+
+    def _pool(self):
+        """The frame pool holding this engine's cached data."""
+        raise NotImplementedError
+
+    def _shootdown(self, thread: SimThread, vpns: List[int]) -> None:
+        raise NotImplementedError
+
+    def _charge_range_update(self, thread: SimThread) -> None:
+        """Cost of entering the kernel/hypervisor for mmap-class calls."""
+        raise NotImplementedError
+
+    def _advise_cost(self) -> float:
+        return constants.SYSCALL_CYCLES
+
+    # -- shared writeback helper ----------------------------------------------
+
+    @staticmethod
+    def _merge_runs(pages: List[CachePage]) -> List[List[CachePage]]:
+        """Group device-offset-sorted pages into contiguous runs."""
+        runs: List[List[CachePage]] = []
+        for page in pages:
+            if (
+                runs
+                and page.device_offset
+                == runs[-1][-1].device_offset + units.PAGE_SIZE
+            ):
+                runs[-1].append(page)
+            else:
+                runs.append([page])
+        return runs
+
+    def _write_back_pages(
+        self,
+        thread: SimThread,
+        pages: List[CachePage],
+        sync: bool,
+        category: str = "writeback",
+    ) -> int:
+        """Write dirty pages (sorted by device offset), merging runs.
+
+        Returns the number of pages written.  ``sync`` blocks the thread
+        until the last write completes (msync semantics); otherwise writes
+        are queued and only CPU submission cost is paid now.
+        """
+        pool = self._pool()
+        completions: List[float] = []
+        for run in self._merge_runs(pages):
+            device: BlockDevice = run[0].file.device
+            data = b"".join(pool.read(page.frame) for page in run)
+            offset = run[0].device_offset
+            completion = device.submit_async(
+                thread.clock, offset, len(data), is_write=True, data=data
+            )
+            thread.clock.charge(category + ".submit", 400 + 30 * len(run))
+            completions.append(completion)
+        if sync and completions:
+            thread.clock.wait_until(max(completions), "idle.io.writeback")
+        return len(pages)

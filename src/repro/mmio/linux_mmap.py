@@ -1,0 +1,343 @@
+"""The Linux mmap mmio path (the paper's baseline).
+
+Reproduces the behaviours the paper attributes to Linux:
+
+* ring 3 -> ring 0 **trap** on every fault (1287 cycles, Section 6.4);
+* ``mmap_sem`` read lock + VMA rb-tree walk, then the per-inode
+  **tree lock** for every page-cache lookup, insert, removal, and dirty
+  marking — the single contended lock of Section 6.5;
+* **128 KB readahead** around faults ("mmap prefetches 128KB for 1KB
+  reads", Section 6.1), disabled by ``MADV_RANDOM``;
+* **direct reclaim** in the faulting thread when the cgroup-limited page
+  cache is full, including writeback of dirty victims and per-page TLB
+  shootdowns;
+* **aggressive writeback**: when dirty pages exceed the dirty ratio the
+  faulting thread synchronously flushes a batch (the behaviour Tucana and
+  kmmap call out as causing latency variability, Section 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common import constants, units
+from repro.common.errors import OutOfMemoryError, SegmentationFault
+from repro.devices.pmem import PmemDevice
+from repro.cache.base import CachePage
+from repro.cache.kernel_cache import KernelPageCache
+from repro.hw.machine import Machine
+from repro.hw.vmx import ExecutionDomain, VMXCostModel
+from repro.mmio.engine import Mapping, MmioEngine
+from repro.mmio.files import BackingFile
+from repro.mmio.vma import MADV_RANDOM, MADV_SEQUENTIAL, VMA, LinuxVMAStore
+from repro.sim.executor import SimThread
+
+#: Linux direct reclaim works in SWAP_CLUSTER_MAX-sized batches.
+RECLAIM_BATCH_PAGES = 32
+
+#: Fraction of the page cache allowed to be dirty before the faulting
+#: thread is forced into synchronous writeback (vm.dirty_ratio class knob).
+DIRTY_RATIO = 0.20
+
+
+class LinuxMmapEngine(MmioEngine):
+    """Linux kernel mmio over a shared kernel page cache."""
+
+    name = "linux-mmap"
+
+    def __init__(
+        self,
+        machine: Machine,
+        cache_pages: int,
+        readahead_pages: int = constants.LINUX_READAHEAD_PAGES,
+        dirty_ratio: float = DIRTY_RATIO,
+    ) -> None:
+        super().__init__(
+            machine,
+            LinuxVMAStore(),
+            VMXCostModel(ExecutionDomain.ROOT_RING3),
+        )
+        self.cache = KernelPageCache(cache_pages)
+        self.readahead_pages = readahead_pages
+        self.dirty_ratio = dirty_ratio
+        self._shootdowns = machine.make_shootdown_controller("linux")
+        self.readahead_reads = 0
+        self.reclaim_runs = 0
+        # Pages locked by an in-progress fault (PG_locked): reclaim skips
+        # them, so a readahead window can never evict its own pages.
+        self._pinned = set()
+
+    # -- engine plumbing ------------------------------------------------------
+
+    def _pool(self):
+        return self.cache.pool
+
+    def _cached_page(self, file: BackingFile, file_page: int) -> Optional[CachePage]:
+        return self.cache.get_nocost(file, file_page)
+
+    def _shootdown(self, thread: SimThread, vpns: List[int]) -> None:
+        self._shootdowns.shootdown(thread.clock, thread.core, vpns)
+
+    def _charge_range_update(self, thread: SimThread) -> None:
+        self.vmx.syscall(thread.clock, "syscall.mmap")
+
+    def _pages_of_file(self, file_id: int):
+        return self.cache.pages_of_file(file_id)
+
+    def _drop_page(self, thread: SimThread, page: CachePage) -> None:
+        self.cache.remove(thread.clock, thread.tid, page)
+
+    # -- fault handling ---------------------------------------------------------
+
+    def _fault(self, thread: SimThread, vma: VMA, vpn: int, is_write: bool) -> int:
+        clock = thread.clock
+        self.vmx.fault_entry(clock)
+        checked = self.vmas.lookup(clock, vpn)   # mmap_sem + rb-tree walk
+        if checked is None or checked.vma_id != vma.vma_id:
+            raise SegmentationFault(vpn << units.PAGE_SHIFT)
+        file = vma.file
+        file_page = vma.file_page_of(vpn)
+
+        page = self.cache.lookup(clock, thread.tid, file, file_page)
+        if page is None:
+            self.major_faults += 1
+            page = self._read_in(thread, vma, file, file_page)
+        else:
+            self.minor_faults += 1
+
+        pte = self.page_table.install(vpn, page.frame, writable=False)
+        page.mapped_vpns.add(vpn)
+        clock.charge("fault.pte_install", constants.LINUX_PTE_INSTALL_CYCLES)
+        self.machine.tlb_of(thread)._insert(vpn)
+
+        if is_write:
+            return self._write_protect_fault(thread, vma, vpn, pte, in_fault=True)
+        return page.frame
+
+    def _write_protect_fault(
+        self, thread: SimThread, vma: VMA, vpn: int, pte, in_fault: bool = False
+    ) -> int:
+        clock = thread.clock
+        if not in_fault:
+            # A separate protection fault: full trap + VMA check again.
+            self.vmx.fault_entry(clock)
+            self.vmas.lookup(clock, vpn)
+        file_page = vma.file_page_of(vpn)
+        page = self.cache.get_nocost(vma.file, file_page)
+        if page is None:
+            raise SegmentationFault(vpn << units.PAGE_SHIFT, "dirty fault on evicted page")
+        self.cache.mark_dirty(clock, thread.tid, page)   # takes the tree lock
+        pte.writable = True
+        pte.dirty = True
+        clock.charge("fault.pte_install", constants.LINUX_PTE_INSTALL_CYCLES // 2)
+        # Background writeback must skip the page being dirtied right now:
+        # its store has not landed in the frame yet (the fault returns
+        # first), so flushing it here would persist stale bytes and mark
+        # it clean — losing the write on a later eviction.
+        self._maybe_writeback(thread, exclude_key=page.key)
+        return page.frame
+
+    # -- page-cache fill (miss path) ---------------------------------------------
+
+    def _read_in(
+        self, thread: SimThread, vma: VMA, file: BackingFile, file_page: int
+    ) -> CachePage:
+        """Read the faulting page plus its readahead window.
+
+        Mirrors the kernel's ordering: pages are added to the page-cache
+        tree first (tree lock held only for the insert), then the device
+        reads fill them — so the tree lock is *not* held across I/O.
+        """
+        clock = thread.clock
+        window = self._readahead_window(vma, file, file_page)
+
+        # Phase 1: allocate frames and install tree entries.  Each fresh
+        # page is pinned (PG_locked) until its data arrives so concurrent
+        # reclaim cannot steal it.
+        fresh: List[tuple] = []   # (page_index, frame)
+        try:
+            for page_index in range(window[0], window[1]):
+                if self.cache.get_nocost(file, page_index) is not None:
+                    continue
+                frame = self._allocate_with_reclaim(thread)
+                self.cache.insert(clock, thread.tid, file, page_index, frame)
+                self._pinned.add((file.file_id, page_index))
+                fresh.append((page_index, frame))
+        finally:
+            pass  # pins released after phase 2 below
+
+        # Phase 2: read device data into the new frames, merging
+        # device-contiguous runs; only the run containing the faulting
+        # page blocks, the rest is readahead.
+        run: List[tuple] = []
+
+        def flush_run() -> None:
+            if not run:
+                return
+            start_page = run[0][0]
+            nbytes = len(run) * units.PAGE_SIZE
+            offset = file.device_offset(start_page)
+            blocking = any(page_index == file_page for page_index, _ in run)
+            if blocking:
+                data = file.device.submit(
+                    clock, offset, nbytes, is_write=False, wait_category="idle.io.fault"
+                )
+                if not isinstance(file.device, PmemDevice):
+                    # Interrupt-driven completion: IRQ + wakeup + reschedule.
+                    clock.charge("fault.io.irq", constants.HOST_NVME_COMPLETION_CYCLES)
+            else:
+                file.device.submit_async(clock, offset, nbytes, is_write=False)
+                data = file.device.store.read(offset, nbytes)
+                self.readahead_reads += len(run)
+            for index, (_, frame) in enumerate(run):
+                self.cache.pool.write(
+                    frame, data[index * units.PAGE_SIZE : (index + 1) * units.PAGE_SIZE]
+                )
+            run.clear()
+
+        for page_index, frame in fresh:
+            if run and file.device_offset(page_index) != file.device_offset(
+                run[-1][0]
+            ) + units.PAGE_SIZE:
+                flush_run()
+            run.append((page_index, frame))
+        flush_run()
+        for page_index, _ in fresh:
+            self._pinned.discard((file.file_id, page_index))
+
+        target = self.cache.get_nocost(file, file_page)
+        if target is None:
+            raise OutOfMemoryError("failed to populate faulting page")
+        return target
+
+    def _readahead_window(self, vma: VMA, file: BackingFile, file_page: int):
+        if vma.advice == MADV_RANDOM:
+            ra = 1
+        elif vma.advice == MADV_SEQUENTIAL:
+            ra = self.readahead_pages * 2
+        else:
+            ra = self.readahead_pages
+        # Readahead cannot outgrow memory: clamp to a quarter of the cache
+        # (the kernel similarly backs off under memory pressure).
+        ra = max(1, min(ra, self.cache.capacity_pages // 4))
+        # Read-around: center the window on the fault, as fault-around does.
+        start = max(0, file_page - ra // 2)
+        end = min(file.size_pages, start + ra)
+        end = max(end, file_page + 1)
+        # Clip to the mapped range of the VMA.
+        vma_first = vma.file_start_page
+        vma_last = vma.file_start_page + vma.num_pages
+        return (max(start, vma_first), min(end, vma_last))
+
+    # -- reclaim and writeback ---------------------------------------------------
+
+    def _allocate_with_reclaim(self, thread: SimThread) -> int:
+        frame = self.cache.allocate_frame(thread.clock)
+        if frame is not None:
+            return frame
+        self._direct_reclaim(thread)
+        frame = self.cache.allocate_frame(thread.clock)
+        if frame is None:
+            raise OutOfMemoryError("reclaim failed to free any page")
+        return frame
+
+    def _direct_reclaim(self, thread: SimThread) -> None:
+        """Evict a batch of cold pages in the faulting thread's context.
+
+        Busy mappings are skipped (trylock), as ``shrink_page_list`` does;
+        a forced single-page eviction guarantees progress if every victim
+        group was busy.
+        """
+        clock = thread.clock
+        self.reclaim_runs += 1
+        victims = [
+            page
+            for page in self.cache.pick_victims(RECLAIM_BATCH_PAGES * 2)
+            if page.key not in self._pinned
+        ]
+        if not victims:
+            raise OutOfMemoryError("page cache empty but allocation failed")
+        victims = victims[:RECLAIM_BATCH_PAGES] if len(
+            victims
+        ) > RECLAIM_BATCH_PAGES else victims
+        clock.charge(
+            "reclaim.scan", constants.LINUX_RECLAIM_PER_PAGE_CYCLES * len(victims)
+        )
+        dirty = sorted(
+            (v for v in victims if v.dirty), key=lambda page: page.device_offset
+        )
+        if dirty:
+            self._write_back_pages(thread, dirty, sync=True, category="reclaim.writeback")
+            # Victims the trylock pass skips stay resident: they must be
+            # re-protected like any cleaned page.
+            self._mark_clean_and_protect(thread, dirty)
+        removed = self.cache.remove_batch(clock, thread.tid, victims)
+        if not removed:
+            # Every mapping was busy: force one page out to make progress.
+            forced = victims[0]
+            self.cache.remove(clock, thread.tid, forced)
+            removed = [forced]
+        vpns: List[int] = []
+        for page in removed:
+            for vpn in page.mapped_vpns:
+                self.page_table.remove(vpn)
+                vpns.append(vpn)
+            page.mapped_vpns.clear()
+        self._shootdown(thread, vpns)
+
+    def _maybe_writeback(self, thread: SimThread, exclude_key=None) -> None:
+        """Aggressive background writeback charged to the dirtying thread."""
+        limit = int(self.cache.capacity_pages * self.dirty_ratio)
+        if self.cache.dirty_pages() <= limit:
+            return
+        dirty = sorted(
+            (
+                page
+                for page in self._all_pages()
+                if page.dirty and page.key != exclude_key
+            ),
+            key=lambda page: page.device_offset,
+        )[: constants.LINUX_WRITEBACK_BATCH_PAGES]
+        self._write_back_pages(thread, dirty, sync=False, category="writeback.bg")
+        self._mark_clean_and_protect(thread, dirty)
+
+    def _mark_clean_and_protect(self, thread: SimThread, pages) -> None:
+        """Clean written-back pages and write-protect their PTEs.
+
+        The kernel's ``clear_page_dirty_for_io``: a page going clean must
+        be re-protected so the *next* store takes a protection fault and
+        re-marks it dirty — otherwise later writes are lost on eviction.
+        """
+        vpns: List[int] = []
+        for page in pages:
+            page.dirty = False
+            for vpn in page.mapped_vpns:
+                pte = self.page_table.lookup(vpn)
+                if pte is not None and pte.writable:
+                    pte.writable = False
+                    pte.dirty = False
+                    vpns.append(vpn)
+        self._shootdown(thread, vpns)
+
+    def _all_pages(self):
+        return self.cache.pages()
+
+    def msync(self, thread: SimThread, mapping: Mapping) -> int:
+        """Synchronously flush the mapping's dirty pages."""
+        self.vmx.syscall(thread.clock, "syscall.msync")
+        file = mapping.vma.file
+        first = mapping.vma.file_start_page
+        last = first + mapping.vma.num_pages
+        dirty = sorted(
+            (
+                page
+                for page in self._all_pages()
+                if page.dirty
+                and page.file.file_id == file.file_id
+                and first <= page.file_page < last
+            ),
+            key=lambda page: page.device_offset,
+        )
+        written = self._write_back_pages(thread, dirty, sync=True, category="writeback.msync")
+        self._mark_clean_and_protect(thread, dirty)
+        return written

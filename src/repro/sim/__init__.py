@@ -1,0 +1,43 @@
+"""Discrete-event simulation core: clocks, locks, stats, randomness."""
+
+from repro.sim.clock import Breakdown, CycleClock
+from repro.sim.executor import Executor, RunResult, SimThread, run_threads
+from repro.sim.locks import (
+    CacheLineTimeline,
+    LockRegistry,
+    RWLockTimeline,
+    SpinlockTimeline,
+    StripedAtomicTimeline,
+)
+from repro.sim.rand import (
+    LatestGenerator,
+    ScrambledZipfGenerator,
+    ZipfGenerator,
+    derive_seed,
+    fnv1a_64,
+    stream,
+)
+from repro.sim.stats import LatencyRecorder, speedup, throughput_ops_per_sec
+
+__all__ = [
+    "Breakdown",
+    "CycleClock",
+    "Executor",
+    "RunResult",
+    "SimThread",
+    "run_threads",
+    "CacheLineTimeline",
+    "LockRegistry",
+    "RWLockTimeline",
+    "SpinlockTimeline",
+    "StripedAtomicTimeline",
+    "LatestGenerator",
+    "ScrambledZipfGenerator",
+    "ZipfGenerator",
+    "derive_seed",
+    "fnv1a_64",
+    "stream",
+    "LatencyRecorder",
+    "speedup",
+    "throughput_ops_per_sec",
+]

@@ -1,0 +1,157 @@
+"""Operation-granularity discrete-event executor.
+
+Simulated threads are Python iterators: each ``next()`` performs exactly one
+application-level operation (a KV get, one BFS step, one microbenchmark
+access), mutating shared simulation state and charging cycles to the
+thread's clock.  The executor always steps the thread whose clock is
+furthest behind, so shared structures (caches, freelists, lock timelines)
+are touched in simulated-time order — the property that makes the lock and
+device timeline models meaningful.
+
+This gives deterministic, single-OS-thread simulation of up to the paper's
+32 hardware threads (DESIGN.md Section 4, item 1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.sim.clock import Breakdown, CycleClock
+from repro.sim.stats import LatencyRecorder
+
+
+class SimThread:
+    """One simulated software thread pinned to a hardware thread.
+
+    ``core`` is the hardware-thread index (0..31 on the paper's testbed);
+    the topology module maps it to a physical core and NUMA node.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, core: int, name: str = "") -> None:
+        self.tid = next(SimThread._ids)
+        self.core = core
+        self.name = name or f"thread-{self.tid}"
+        self.clock = CycleClock()
+        self.latencies = LatencyRecorder()
+        self.ops_completed = 0
+
+    def record_op(self, start_cycles: float) -> None:
+        """Record completion of one operation started at ``start_cycles``."""
+        self.latencies.record(self.clock.now - start_cycles)
+        self.ops_completed += 1
+
+    def __repr__(self) -> str:
+        return f"SimThread({self.name}, core={self.core}, now={self.clock.now:.0f})"
+
+
+class RunResult:
+    """Outcome of one executor run."""
+
+    def __init__(self, threads: Sequence[SimThread]) -> None:
+        self.threads = list(threads)
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Finish time of the slowest thread (total elapsed simulated time)."""
+        if not self.threads:
+            return 0.0
+        return max(t.clock.now for t in self.threads)
+
+    @property
+    def total_ops(self) -> int:
+        """Operations completed across all threads."""
+        return sum(t.ops_completed for t in self.threads)
+
+    def throughput_ops_per_sec(self) -> float:
+        """Aggregate throughput over the makespan."""
+        from repro.sim.stats import throughput_ops_per_sec
+
+        return throughput_ops_per_sec(self.total_ops, self.makespan_cycles)
+
+    def merged_latencies(self) -> LatencyRecorder:
+        """All threads' operation latencies in one recorder."""
+        merged = LatencyRecorder()
+        for t in self.threads:
+            merged.merge(t.latencies)
+        return merged
+
+    def merged_breakdown(self) -> Breakdown:
+        """All threads' cycle breakdowns merged."""
+        merged = Breakdown()
+        for t in self.threads:
+            merged.merge(t.clock.breakdown)
+        return merged
+
+
+class Executor:
+    """Runs a set of (thread, workload-iterator) pairs to completion."""
+
+    def __init__(self) -> None:
+        self._entries: List[tuple] = []
+
+    def add(self, thread: SimThread, workload: Iterable) -> None:
+        """Register ``thread`` to execute operations from ``workload``.
+
+        ``workload`` must be an iterable whose iterator performs one
+        operation per ``next()`` call (yielded values are ignored).
+        """
+        self._entries.append((thread, iter(workload)))
+
+    def run(self, max_ops: Optional[int] = None) -> RunResult:
+        """Step threads in min-clock order until all workloads finish.
+
+        ``max_ops`` bounds total operations as a runaway guard.
+        """
+        heap: List[tuple] = []
+        for order, (thread, it) in enumerate(self._entries):
+            heap.append((thread.clock.now, order, thread, it))
+        heapq.heapify(heap)
+
+        steps = 0
+        while heap:
+            _, order, thread, it = heapq.heappop(heap)
+            try:
+                before = thread.clock.now
+                next(it)
+                if thread.clock.now < before:
+                    raise SimulationError(
+                        f"{thread.name} moved backwards in time "
+                        f"({before:.0f} -> {thread.clock.now:.0f})"
+                    )
+            except StopIteration:
+                continue
+            steps += 1
+            if max_ops is not None and steps > max_ops:
+                raise SimulationError(f"executor exceeded max_ops={max_ops}")
+            heapq.heappush(heap, (thread.clock.now, order, thread, it))
+
+        return RunResult([t for t, _ in self._entries])
+
+
+def run_threads(
+    make_workload: Callable[[SimThread], Iterator],
+    num_threads: int,
+    cores: Optional[Sequence[int]] = None,
+    start_offset_cycles: float = 0.0,
+) -> RunResult:
+    """Convenience: build ``num_threads`` threads and run their workloads.
+
+    ``make_workload`` receives each :class:`SimThread` and returns its
+    operation iterator.  ``cores`` optionally pins threads to hardware
+    threads (defaults to identity).  ``start_offset_cycles`` staggers thread
+    start times to avoid artificial lockstep convoys.
+    """
+    executor = Executor()
+    threads = []
+    for i in range(num_threads):
+        core = cores[i] if cores is not None else i
+        thread = SimThread(core=core)
+        thread.clock.now = i * start_offset_cycles
+        threads.append(thread)
+        executor.add(thread, make_workload(thread))
+    return executor.run()

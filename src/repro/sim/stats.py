@@ -1,0 +1,135 @@
+"""Latency and throughput statistics for experiment reporting.
+
+The paper reports average latency, p99 and p99.9 tail latency, and
+throughput (ops/sec) for most experiments.  :class:`LatencyRecorder` stores
+raw per-operation latencies (cycle counts) and computes those summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.common import units
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies in cycles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, cycles: float) -> None:
+        """Record one operation latency."""
+        self._samples.append(cycles)
+        self._sorted = False
+
+    def extend(self, cycles_list: Sequence[float]) -> None:
+        """Record many operation latencies."""
+        self._samples.extend(cycles_list)
+        self._sorted = False
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        self._samples.extend(other._samples)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    @property
+    def count(self) -> int:
+        """Number of recorded operations."""
+        return len(self._samples)
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all recorded latencies."""
+        return sum(self._samples)
+
+    def mean(self) -> float:
+        """Average latency in cycles (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return self.total_cycles / len(self._samples)
+
+    def tail_mean(self, fraction: float = 0.5) -> float:
+        """Mean of the last ``fraction`` of samples *in recording order*.
+
+        Used to skip warmup (cache-fill) samples.  Only meaningful before
+        any percentile call (percentiles sort the sample buffer).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self._sorted and len(self._samples) > 1:
+            raise ValueError("samples already sorted; recording order lost")
+        if not self._samples:
+            return 0.0
+        start = int(len(self._samples) * (1.0 - fraction))
+        tail = self._samples[start:]
+        return sum(tail) / len(tail)
+
+    def percentile(self, pct: float) -> float:
+        """Latency at percentile ``pct`` (0 < pct <= 100), nearest-rank."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 < pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        self._ensure_sorted()
+        rank = max(1, math.ceil(pct / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def p50(self) -> float:
+        """Median latency in cycles."""
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        """99th-percentile latency in cycles."""
+        return self.percentile(99.0)
+
+    def p999(self) -> float:
+        """99.9th-percentile latency in cycles."""
+        return self.percentile(99.9)
+
+    def max(self) -> float:
+        """Maximum recorded latency in cycles."""
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def mean_us(self) -> float:
+        """Average latency in microseconds."""
+        return units.cycles_to_us(self.mean())
+
+    def summary(self) -> Dict[str, float]:
+        """Dict with count/mean/p50/p99/p999/max in cycles."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p99": self.p99(),
+            "p999": self.p999(),
+            "max": self.max(),
+        }
+
+
+def throughput_ops_per_sec(ops: int, elapsed_cycles: float) -> float:
+    """Operations per second over an elapsed simulated interval."""
+    if elapsed_cycles <= 0:
+        return 0.0
+    return ops / units.cycles_to_seconds(elapsed_cycles)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times larger ``baseline`` is than ``improved``.
+
+    Used for the paper's "N.NNx lower/higher" phrasing; returns ``inf``
+    when ``improved`` is zero.
+    """
+    if improved == 0:
+        return math.inf
+    return baseline / improved

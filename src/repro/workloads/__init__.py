@@ -1,0 +1,25 @@
+"""Workload generators: YCSB (Table 1) and the fault microbenchmark."""
+
+from repro.workloads.microbench import MicrobenchConfig, access_workload, run_microbench
+from repro.workloads.ycsb import (
+    DISTRIBUTIONS,
+    WORKLOADS,
+    YCSBConfig,
+    YCSBDriver,
+    YCSBStats,
+    make_key,
+    make_value,
+)
+
+__all__ = [
+    "MicrobenchConfig",
+    "access_workload",
+    "run_microbench",
+    "DISTRIBUTIONS",
+    "WORKLOADS",
+    "YCSBConfig",
+    "YCSBDriver",
+    "YCSBStats",
+    "make_key",
+    "make_value",
+]

@@ -1,0 +1,153 @@
+"""Trace capture and replay for key-value workloads.
+
+Production studies (the paper cites Cao et al., FAST'20, characterizing
+RocksDB workloads at Facebook) drive evaluations from recorded traces.
+This module provides a minimal trace format so experiments can be driven
+by captured or hand-written operation sequences instead of synthetic
+generators:
+
+    GET <key>
+    PUT <key> <value-bytes>
+    DELETE <key>
+    SCAN <start-key> <count>
+
+Keys are printable tokens; values are given as a byte length (payloads
+are regenerated deterministically from the key, like YCSB's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.sim.executor import SimThread
+
+VALID_OPS = ("GET", "PUT", "DELETE", "SCAN")
+
+
+@dataclass
+class TraceOp:
+    """One recorded operation."""
+
+    op: str
+    key: bytes
+    value_bytes: int = 0
+    scan_count: int = 0
+
+    def to_line(self) -> str:
+        """Serialize to the one-line text format."""
+        key = self.key.decode()
+        if self.op == "PUT":
+            return f"PUT {key} {self.value_bytes}"
+        if self.op == "SCAN":
+            return f"SCAN {key} {self.scan_count}"
+        return f"{self.op} {key}"
+
+
+def parse_trace(text: str) -> List[TraceOp]:
+    """Parse the text trace format; blank lines and '#' comments skipped."""
+    ops: List[TraceOp] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        op = parts[0].upper()
+        if op not in VALID_OPS:
+            raise ValueError(f"line {lineno}: unknown op {parts[0]!r}")
+        if op in ("GET", "DELETE"):
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: {op} takes exactly one key")
+            ops.append(TraceOp(op, parts[1].encode()))
+        elif op == "PUT":
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno}: PUT takes key and size")
+            ops.append(TraceOp(op, parts[1].encode(), value_bytes=int(parts[2])))
+        else:   # SCAN
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno}: SCAN takes start key and count")
+            ops.append(TraceOp(op, parts[1].encode(), scan_count=int(parts[2])))
+    return ops
+
+
+def dump_trace(ops: Sequence[TraceOp]) -> str:
+    """Serialize operations back to the text format."""
+    return "\n".join(op.to_line() for op in ops) + "\n"
+
+
+def _value_for(key: bytes, size: int) -> bytes:
+    seed = b"trace-" + key + b"-"
+    reps = size // len(seed) + 1
+    return (seed * reps)[:size]
+
+
+@dataclass
+class ReplayStats:
+    """Counters from one replay."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    scans: int = 0
+    not_found: int = 0
+
+    @property
+    def operations(self) -> int:
+        """Total operations replayed."""
+        return self.gets + self.puts + self.deletes + self.scans
+
+
+class TraceReplayer:
+    """Replays a trace against any store with get/put/delete/scan."""
+
+    def __init__(self, store, ops: Sequence[TraceOp]) -> None:
+        self.store = store
+        self.ops = list(ops)
+        self.stats = ReplayStats()
+
+    def replay(self, thread: SimThread) -> ReplayStats:
+        """Run the whole trace on ``thread``."""
+        for _ in self.iter_replay(thread):
+            pass
+        return self.stats
+
+    def iter_replay(self, thread: SimThread) -> Iterator[None]:
+        """Executor-compatible iterator: one trace op per step."""
+        for op in self.ops:
+            start = thread.clock.now
+            if op.op == "GET":
+                self.stats.gets += 1
+                if self.store.get(thread, op.key) is None:
+                    self.stats.not_found += 1
+            elif op.op == "PUT":
+                self.stats.puts += 1
+                self.store.put(thread, op.key, _value_for(op.key, op.value_bytes))
+            elif op.op == "DELETE":
+                self.stats.deletes += 1
+                self.store.delete(thread, op.key)
+            else:
+                self.stats.scans += 1
+                self.store.scan(thread, op.key, op.scan_count)
+            thread.record_op(start)
+            yield
+
+
+def synthesize_trace(
+    num_ops: int,
+    keyspace: int,
+    read_fraction: float = 0.8,
+    value_bytes: int = 128,
+    seed: int = 0,
+) -> List[TraceOp]:
+    """Generate a simple mixed trace (for tests and demos)."""
+    import random
+
+    rng = random.Random(seed)
+    ops: List[TraceOp] = []
+    for _ in range(num_ops):
+        key = f"k{rng.randrange(keyspace):06d}".encode()
+        if rng.random() < read_fraction:
+            ops.append(TraceOp("GET", key))
+        else:
+            ops.append(TraceOp("PUT", key, value_bytes=value_bytes))
+    return ops

@@ -1,0 +1,124 @@
+"""The Linux kernel page-cache model."""
+
+import pytest
+
+from repro.common import units
+from repro.cache.kernel_cache import KernelPageCache
+from repro.devices.pmem import PmemDevice
+from repro.mmio.files import ExtentFile
+from repro.sim.clock import CycleClock
+
+
+def _file(name="f", pages=64):
+    device = PmemDevice(capacity_bytes=64 * units.MIB)
+    return ExtentFile(name, device, 0, pages * units.PAGE_SIZE)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = KernelPageCache(16)
+        file = _file()
+        clock = CycleClock()
+        assert cache.lookup(clock, 1, file, 0) is None
+        frame = cache.allocate_frame(clock)
+        cache.insert(clock, 1, file, 0, frame)
+        page = cache.lookup(clock, 1, file, 0)
+        assert page is not None and page.frame == frame
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_per_file_isolation(self):
+        cache = KernelPageCache(16)
+        a, b = _file("a"), _file("b")
+        clock = CycleClock()
+        cache.insert(clock, 1, a, 0, cache.allocate_frame(clock))
+        assert cache.lookup(clock, 1, b, 0) is None
+
+    def test_per_file_tree_locks_distinct(self):
+        cache = KernelPageCache(16)
+        a, b = _file("a"), _file("b")
+        assert cache.tree_lock_of(a) is not cache.tree_lock_of(b)
+        assert cache.tree_lock_of(a) is cache.tree_lock_of(a)
+
+    def test_allocate_exhaustion(self):
+        cache = KernelPageCache(2)
+        clock = CycleClock()
+        assert cache.allocate_frame(clock) is not None
+        assert cache.allocate_frame(clock) is not None
+        assert cache.allocate_frame(clock) is None
+
+
+class TestDirtyAndVictims:
+    def test_mark_dirty_takes_lock(self):
+        cache = KernelPageCache(8)
+        file = _file()
+        clock = CycleClock()
+        page = cache.insert(clock, 1, file, 0, cache.allocate_frame(clock))
+        lock = cache.tree_lock_of(file)
+        acquisitions = lock.acquisitions
+        cache.mark_dirty(clock, 1, page)
+        assert page.dirty
+        assert lock.acquisitions == acquisitions + 1
+        assert cache.dirty_pages() == 1
+
+    def test_pick_victims_lru_order(self):
+        cache = KernelPageCache(8)
+        file = _file()
+        clock = CycleClock()
+        pages = [
+            cache.insert(clock, 1, file, i, cache.allocate_frame(clock))
+            for i in range(4)
+        ]
+        cache.lookup(clock, 1, file, 0)   # refresh page 0
+        victims = cache.pick_victims(2)
+        assert [v.file_page for v in victims] == [1, 2]
+
+    def test_remove_returns_frame(self):
+        cache = KernelPageCache(2)
+        file = _file()
+        clock = CycleClock()
+        frame = cache.allocate_frame(clock)
+        page = cache.insert(clock, 1, file, 0, frame)
+        cache.allocate_frame(clock)
+        assert cache.allocate_frame(clock) is None
+        cache.remove(clock, 1, page)
+        assert cache.allocate_frame(clock) == frame
+        assert cache.evictions == 1
+
+    def test_remove_batch_groups_by_file(self):
+        cache = KernelPageCache(16)
+        a, b = _file("a"), _file("b")
+        clock = CycleClock()
+        pages = []
+        for i in range(3):
+            pages.append(cache.insert(clock, 1, a, i, cache.allocate_frame(clock)))
+            pages.append(cache.insert(clock, 1, b, i, cache.allocate_frame(clock)))
+        lock_a = cache.tree_lock_of(a)
+        before = lock_a.acquisitions
+        removed = cache.remove_batch(clock, 1, pages)
+        assert len(removed) == 6
+        assert lock_a.acquisitions == before + 1   # one acquisition per file
+
+    def test_remove_batch_skips_busy_files(self):
+        cache = KernelPageCache(16)
+        file = _file()
+        clock = CycleClock()
+        page = cache.insert(clock, 1, file, 0, cache.allocate_frame(clock))
+        # Simulate the lock being held into the future.
+        holder = CycleClock()
+        holder.charge("hold", 10_000)
+        lock = cache.tree_lock_of(file)
+        lock.acquire(holder, 99)
+        removed = cache.remove_batch(clock, 1, [page])
+        assert removed == []
+        assert cache.get_nocost(file, 0) is page
+        lock.release(holder, 99)
+
+    def test_pages_of_file(self):
+        cache = KernelPageCache(16)
+        a, b = _file("a"), _file("b")
+        clock = CycleClock()
+        cache.insert(clock, 1, a, 0, cache.allocate_frame(clock))
+        cache.insert(clock, 1, a, 1, cache.allocate_frame(clock))
+        cache.insert(clock, 1, b, 0, cache.allocate_frame(clock))
+        assert len(cache.pages_of_file(a.file_id)) == 2
+        assert len(cache.pages_of_file(b.file_id)) == 1

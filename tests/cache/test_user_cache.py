@@ -1,0 +1,102 @@
+"""The sharded user-space block cache (RocksDB's recommended mode)."""
+
+import pytest
+
+from repro.common import constants
+from repro.cache.user_cache import UserSpaceCache
+from repro.sim.clock import CycleClock
+
+
+class TestGetInsert:
+    def test_miss_then_hit(self):
+        cache = UserSpaceCache(16)
+        clock = CycleClock()
+        assert cache.get(clock, 1, 10, 0) is None
+        cache.insert(clock, 1, 10, 0, b"block-data")
+        assert cache.get(clock, 1, 10, 0) == b"block-data"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hits_still_cost_lookup_cycles(self):
+        """The paper's core point: user-cache hits are not free."""
+        cache = UserSpaceCache(16)
+        clock = CycleClock()
+        cache.insert(clock, 1, 10, 0, b"x")
+        before = clock.now
+        cache.get(clock, 1, 10, 0)
+        assert clock.now - before >= constants.USERCACHE_LOOKUP_CYCLES
+
+    def test_insert_replaces(self):
+        cache = UserSpaceCache(16)
+        clock = CycleClock()
+        cache.insert(clock, 1, 1, 0, b"old")
+        cache.insert(clock, 1, 1, 0, b"new")
+        assert cache.get(clock, 1, 1, 0) == b"new"
+        assert cache.resident_blocks() == 1
+
+
+class TestEviction:
+    def test_lru_within_shard(self):
+        cache = UserSpaceCache(capacity_blocks=4, num_shards=1)
+        clock = CycleClock()
+        for block in range(4):
+            cache.insert(clock, 1, 1, block, bytes([block]))
+        cache.get(clock, 1, 1, 0)   # refresh block 0
+        cache.insert(clock, 1, 1, 99, b"new")
+        assert cache.get(clock, 1, 1, 0) is not None
+        assert cache.get(clock, 1, 1, 1) is None   # evicted
+        assert cache.evictions == 1
+
+    def test_capacity_respected(self):
+        cache = UserSpaceCache(capacity_blocks=8, num_shards=2)
+        clock = CycleClock()
+        for block in range(100):
+            cache.insert(clock, 1, 1, block, b"x")
+        assert cache.resident_blocks() <= 8
+
+    def test_eviction_charges_cycles(self):
+        cache = UserSpaceCache(capacity_blocks=1, num_shards=1)
+        clock = CycleClock()
+        cache.insert(clock, 1, 1, 0, b"a")
+        before = clock.now
+        cache.insert(clock, 1, 1, 1, b"b")
+        assert clock.now - before >= (
+            constants.USERCACHE_INSERT_CYCLES + constants.USERCACHE_EVICT_CYCLES
+        )
+
+
+class TestInvalidation:
+    def test_invalidate_file(self):
+        cache = UserSpaceCache(16)
+        clock = CycleClock()
+        cache.insert(clock, 1, 10, 0, b"a")
+        cache.insert(clock, 1, 10, 1, b"b")
+        cache.insert(clock, 1, 20, 0, b"c")
+        assert cache.invalidate(10) == 2
+        assert cache.get(clock, 1, 10, 0) is None
+        assert cache.get(clock, 1, 20, 0) == b"c"
+
+    def test_invalidate_range(self):
+        cache = UserSpaceCache(16)
+        clock = CycleClock()
+        for block in range(5):
+            cache.insert(clock, 1, 10, block, b"x")
+        assert cache.invalidate_range(10, 1, 3) == 3
+        assert cache.get(clock, 1, 10, 0) is not None
+        assert cache.get(clock, 1, 10, 2) is None
+
+    def test_hit_ratio(self):
+        cache = UserSpaceCache(16)
+        clock = CycleClock()
+        assert cache.hit_ratio == 0.0
+        cache.insert(clock, 1, 1, 0, b"x")
+        cache.get(clock, 1, 1, 0)
+        cache.get(clock, 1, 1, 1)
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            UserSpaceCache(0)
+        with pytest.raises(ValueError):
+            UserSpaceCache(10, num_shards=0)

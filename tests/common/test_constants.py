@@ -1,0 +1,93 @@
+"""The cost model's internal consistency against the paper's numbers."""
+
+from repro.common import constants
+
+
+class TestPaperAnchors:
+    """Constants the paper states verbatim."""
+
+    def test_trap_costs(self):
+        assert constants.TRAP_RING3_CYCLES == 1287
+        assert constants.TRAP_AQUILA_CYCLES == 552
+        # "2.33x lower compared to exceptions from ring 3" (Section 6.4)
+        assert abs(constants.TRAP_RING3_CYCLES / constants.TRAP_AQUILA_CYCLES - 2.33) < 0.01
+
+    def test_memcpy_costs(self):
+        assert constants.MEMCPY_4K_NOSIMD_CYCLES == 2400
+        assert constants.MEMCPY_4K_AVX2_CYCLES == 900
+        assert constants.FPU_SAVE_RESTORE_CYCLES == 300
+        # "1200 cycles, i.e. 2x faster than non-SIMD memcpy" (Section 3.3)
+        assert constants.MEMCPY_4K_AQUILA_DAX_CYCLES == 1200
+        assert constants.MEMCPY_4K_NOSIMD_CYCLES / constants.MEMCPY_4K_AQUILA_DAX_CYCLES == 2.0
+
+    def test_ipi_costs(self):
+        # Shinjuku numbers quoted in Section 4.1.
+        assert constants.IPI_SEND_VMEXITLESS_CYCLES == 298
+        assert constants.IPI_SEND_VMEXIT_CYCLES == 2081
+
+    def test_batch_sizes(self):
+        assert constants.TLB_SHOOTDOWN_BATCH == 512
+        assert constants.EVICTION_BATCH_PAGES == 512
+        assert constants.FREELIST_MOVE_BATCH_PAGES == 4096
+
+    def test_readahead(self):
+        # "mmap prefetches 128KB for 1KB reads" (Section 6.1)
+        assert constants.LINUX_READAHEAD_BYTES == 128 * 1024
+        assert constants.LINUX_READAHEAD_PAGES == 32
+
+    def test_figure7_anchors(self):
+        assert constants.USERCACHE_SYSCALL_MISS_CYCLES == 13_000
+        assert constants.ROCKSDB_GET_CPU_CYCLES == 15_300
+        assert constants.ROCKSDB_GET_CPU_AQUILA_CYCLES == 18_500
+        assert constants.ROCKSDB_MMIO_PROCESSING_CYCLES == 11_800
+
+
+class TestDerivedConsistency:
+    """Derived constants must decompose exactly."""
+
+    def test_linux_fault_decomposition(self):
+        # 2724 cycles without I/O; 1287 of that is the trap (Figure 8(a)).
+        assert constants.LINUX_FAULT_NO_IO_CYCLES == 2724
+        assert (
+            constants.LINUX_FAULT_HANDLER_WORK_CYCLES
+            == constants.LINUX_FAULT_NO_IO_CYCLES - constants.TRAP_RING3_CYCLES
+        )
+        # Components + the 100-cycle mmap_sem word RMW = handler work.
+        component_sum = (
+            constants.LINUX_VMA_LOOKUP_CYCLES
+            + constants.LINUX_PCACHE_LOOKUP_CYCLES
+            + constants.LINUX_PCACHE_INSERT_CYCLES
+            + constants.LINUX_PAGE_ALLOC_CYCLES
+            + constants.LINUX_PTE_INSTALL_CYCLES
+            + constants.LINUX_LRU_UPDATE_CYCLES
+            + 2 * constants.LOCK_TRANSFER_CYCLES   # mmap_sem acquire+release RMWs
+        )
+        assert abs(component_sum - constants.LINUX_FAULT_HANDLER_WORK_CYCLES) <= 150
+
+    def test_aquila_fault_decomposition(self):
+        # Cache-hit fault totals exactly 2179 cycles (Figure 8(c)).
+        total = (
+            constants.TRAP_AQUILA_CYCLES
+            + constants.AQUILA_VMA_LOOKUP_CYCLES
+            + constants.AQUILA_CACHE_LOOKUP_CYCLES
+            + constants.AQUILA_PTE_INSTALL_CYCLES
+            + constants.AQUILA_LRU_UPDATE_CYCLES
+            + constants.AQUILA_FAULT_MISC_CYCLES
+        )
+        assert total == constants.AQUILA_FAULT_TOTAL_HIT_CYCLES == 2179
+
+    def test_host_pmem_path_matches_7_77x(self):
+        # vmcall + direct-I/O setup + kernel copy + bio = 7.77x the DAX copy.
+        host = (
+            constants.VMCALL_CYCLES
+            + constants.HOST_DIRECT_IO_SETUP_CYCLES
+            + constants.MEMCPY_4K_NOSIMD_CYCLES
+            + 236
+        )
+        assert abs(host / constants.MEMCPY_4K_AQUILA_DAX_CYCLES - 7.77) < 0.01
+
+    def test_all_costs_positive(self):
+        for name in dir(constants):
+            if name.endswith("_CYCLES") or name.endswith("_PAGES") or name.endswith("_BATCH"):
+                value = getattr(constants, name)
+                assert value > 0, f"{name} must be positive"

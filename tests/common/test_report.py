@@ -1,0 +1,55 @@
+"""The benchmark report formatter."""
+
+import pytest
+
+from repro.bench.report import Table, ratio_line
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("Title", ["a", "bb"])
+        table.add_row(1, 22.5)
+        table.add_row(333, 4)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        # All data lines have the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) <= 2   # header+rule may differ from rows by padding
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["x", "y"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(0.0)
+        table.add_row(3.14159)
+        table.add_row(42.5)
+        table.add_row(1234567.0)
+        rows = table.render().splitlines()[4:]
+        assert rows[0].strip() == "0"
+        assert rows[1].strip() == "3.14"
+        assert rows[2].strip() == "42.5"
+        assert rows[3].strip() == "1,234,567"
+
+    def test_show_prints(self, capsys):
+        table = Table("t", ["v"])
+        table.add_row("x")
+        table.show()
+        assert "t" in capsys.readouterr().out
+
+
+class TestRatioLine:
+    def test_with_paper_value(self):
+        line = ratio_line("claim", 2.58, 2.40)
+        assert "2.58x" in line and "2.40x" in line
+
+    def test_without_paper_value(self):
+        line = ratio_line("claim", None, 1.5)
+        assert "n/a" in line
+
+    def test_custom_unit(self):
+        assert "%" in ratio_line("share", 10.0, 12.0, unit="%")

@@ -1,0 +1,151 @@
+"""The Aquila library OS context: lifecycle, interception, file handling."""
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import ConfigError
+from repro.core import Aquila, AquilaConfig
+from repro.devices.nvme import NvmeDevice
+from repro.devices.pmem import PmemDevice
+from repro.hw.machine import Machine
+from repro.sim.executor import SimThread
+
+
+def _aquila(io_path="dax", device=None, **config_kwargs):
+    if device is None:
+        device = (
+            PmemDevice(capacity_bytes=128 * units.MIB)
+            if io_path in ("dax", "host")
+            else NvmeDevice(capacity_bytes=128 * units.MIB)
+        )
+    config = AquilaConfig(cache_pages=256, io_path=io_path, **config_kwargs)
+    return Aquila(Machine(), device, config)
+
+
+class TestLifecycle:
+    def test_enter_once(self):
+        aquila = _aquila()
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        first = thread.clock.now
+        aquila.enter(thread)   # idempotent
+        assert thread.clock.now == first
+        assert aquila.entered
+
+    def test_register_thread_charged_once(self):
+        aquila = _aquila()
+        main, worker = SimThread(core=0), SimThread(core=1)
+        aquila.enter(main)
+        aquila.register_thread(worker)
+        cost = worker.clock.now
+        aquila.register_thread(worker)
+        assert worker.clock.now == cost
+        assert cost > 0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AquilaConfig(cache_pages=0).validate()
+        with pytest.raises(ConfigError):
+            AquilaConfig(io_path="teleport").validate()
+        with pytest.raises(ConfigError):
+            AquilaConfig(ept_granule="3M").validate()
+
+    def test_dax_requires_pmem(self):
+        with pytest.raises(ConfigError):
+            Aquila(
+                Machine(),
+                NvmeDevice(capacity_bytes=64 * units.MIB),
+                AquilaConfig(io_path="dax"),
+            )
+
+    def test_scaled_batches_sane(self):
+        for cache in (64, 512, 4096, 1 << 21):
+            scaled = AquilaConfig(cache_pages=cache).scaled_for_cache()
+            scaled.validate()
+            assert scaled.eviction_batch <= max(4, cache // 8)
+            assert scaled.freelist_core_threshold * 32 <= max(64, cache)
+
+
+class TestFileHandling:
+    def test_open_same_path_same_file(self):
+        aquila = _aquila()
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        a = aquila.open(thread, "/data/x", size_bytes=units.MIB)
+        b = aquila.open(thread, "/data/x")
+        assert a is b
+
+    def test_spdk_path_uses_blobs(self):
+        aquila = _aquila(io_path="spdk")
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        file = aquila.open(thread, "/data/blob", size_bytes=units.MIB)
+        assert aquila.blobstore is not None
+        assert file.blob_id in aquila.blobstore.blob_ids()
+
+    def test_dax_path_forwards_metadata(self):
+        """Without SPDK, open is a metadata op forwarded to the host."""
+        aquila = _aquila(io_path="dax")
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        before = aquila.forwarded_calls
+        aquila.open(thread, "/data/y", size_bytes=units.MIB)
+        assert aquila.forwarded_calls == before + 1
+
+    def test_end_to_end_io(self):
+        for io_path in ("dax", "spdk", "host"):
+            aquila = _aquila(io_path=io_path)
+            thread = SimThread(core=0)
+            aquila.enter(thread)
+            file = aquila.open(thread, "/data/e2e", size_bytes=units.MIB)
+            mapping = aquila.mmap(thread, file)
+            mapping.store(thread, 12345, b"through " + io_path.encode())
+            mapping.msync(thread)
+            assert mapping.load(thread, 12345, 8 + len(io_path)) == (
+                b"through " + io_path.encode()
+            )
+
+
+class TestSyscallInterception:
+    def test_vm_calls_intercepted(self):
+        aquila = _aquila()
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        for name in ("mmap", "munmap", "mremap", "madvise", "mprotect", "msync"):
+            assert aquila.syscall(thread, name)
+
+    def test_other_calls_forwarded(self):
+        aquila = _aquila()
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        vmcalls_before = aquila.engine.vmx.vmcalls
+        assert not aquila.syscall(thread, "gettimeofday")
+        assert aquila.engine.vmx.vmcalls == vmcalls_before + 1
+
+    def test_intercepted_cheaper_than_forwarded(self):
+        aquila = _aquila()
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        t0 = thread.clock.now
+        aquila.syscall(thread, "madvise")
+        intercepted = thread.clock.now - t0
+        t0 = thread.clock.now
+        aquila.syscall(thread, "open")
+        forwarded = thread.clock.now - t0
+        assert intercepted < forwarded / 5
+
+
+class TestStats:
+    def test_cache_stats_shape(self):
+        aquila = _aquila()
+        thread = SimThread(core=0)
+        aquila.enter(thread)
+        file = aquila.open(thread, "/f", size_bytes=units.MIB)
+        mapping = aquila.mmap(thread, file)
+        mapping.load(thread, 0, 8)
+        stats = aquila.cache_stats()
+        assert stats["resident_pages"] == 1
+        assert stats["faults"] == 1
+        assert stats["major_faults"] == 1

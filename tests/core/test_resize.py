@@ -1,0 +1,86 @@
+"""Dynamic cache resizing via EPT granules (paper Section 3.5)."""
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import ConfigError
+from repro.core import Aquila, AquilaConfig
+from repro.devices.pmem import PmemDevice
+from repro.hw.machine import Machine
+from repro.sim.executor import SimThread
+
+
+def _setup(cache_pages=128):
+    aquila = Aquila(
+        Machine(),
+        PmemDevice(capacity_bytes=128 * units.MIB),
+        AquilaConfig(cache_pages=cache_pages, io_path="dax"),
+    )
+    thread = SimThread(core=0)
+    aquila.enter(thread)
+    return aquila, thread
+
+
+class TestGrow:
+    def test_grow_increases_capacity(self):
+        aquila, thread = _setup(128)
+        assert aquila.resize_cache(thread, 256) == 256
+        assert aquila.engine.cache.capacity_pages == 256
+        assert aquila.engine.cache.freelist.free_count() == 256
+
+    def test_grow_costs_one_vmcall(self):
+        aquila, thread = _setup(128)
+        vmcalls = aquila.engine.vmx.vmcalls
+        aquila.resize_cache(thread, 256)
+        assert aquila.engine.vmx.vmcalls == vmcalls + 1
+
+    def test_grown_memory_usable(self):
+        aquila, thread = _setup(64)
+        aquila.resize_cache(thread, 512)
+        file = aquila.open(thread, "/f", size_bytes=units.MIB)
+        mapping = aquila.mmap(thread, file)
+        for page in range(256):
+            mapping.load(thread, page * units.PAGE_SIZE, 1)
+        assert aquila.engine.cache.resident_pages() == 256
+
+
+class TestShrink:
+    def test_shrink_free_cache(self):
+        aquila, thread = _setup(256)
+        assert aquila.resize_cache(thread, 128) == 128
+        assert aquila.engine.cache.capacity_pages == 128
+
+    def test_shrink_evicts_resident_pages(self):
+        aquila, thread = _setup(256)
+        file = aquila.open(thread, "/f", size_bytes=units.MIB)
+        mapping = aquila.mmap(thread, file)
+        mapping.store(thread, 0, b"keep me safe")
+        for page in range(256):
+            mapping.load(thread, page * units.PAGE_SIZE, 1)
+        aquila.resize_cache(thread, 64)
+        assert aquila.engine.cache.capacity_pages == 64
+        assert aquila.engine.cache.resident_pages() <= 64
+        # Dirty data written back before its page was evicted.
+        assert mapping.load(thread, 0, 12) == b"keep me safe"
+
+    def test_noop_resize(self):
+        aquila, thread = _setup(128)
+        vmcalls = aquila.engine.vmx.vmcalls
+        assert aquila.resize_cache(thread, 128) == 128
+        assert aquila.engine.vmx.vmcalls == vmcalls   # no hypervisor trip
+
+    def test_zero_rejected(self):
+        aquila, thread = _setup(128)
+        with pytest.raises(ConfigError):
+            aquila.resize_cache(thread, 0)
+
+    def test_grow_shrink_cycle_stable(self):
+        aquila, thread = _setup(128)
+        for _ in range(5):
+            aquila.resize_cache(thread, 256)
+            aquila.resize_cache(thread, 128)
+        assert aquila.engine.cache.capacity_pages == 128
+        file = aquila.open(thread, "/f", size_bytes=units.MIB)
+        mapping = aquila.mmap(thread, file)
+        mapping.store(thread, 0, b"still works")
+        assert mapping.load(thread, 0, 11) == b"still works"

@@ -1,0 +1,143 @@
+"""SPDK Blobstore: namespace, allocation, translation, I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import units
+from repro.common.errors import BlobNotFoundError, OutOfSpaceError
+from repro.devices.blobstore import CLUSTER_SIZE, Blobstore, FileBlobNamespace
+from repro.devices.nvme import NvmeDevice
+from repro.sim.clock import CycleClock
+
+
+def _store(capacity=64 * units.MIB):
+    return Blobstore(NvmeDevice(capacity_bytes=capacity))
+
+
+class TestBlobLifecycle:
+    def test_create_resize_delete(self):
+        store = _store()
+        blob_id = store.create(size_bytes=CLUSTER_SIZE)
+        assert store.get(blob_id).size_bytes == CLUSTER_SIZE
+        store.resize(blob_id, 3 * CLUSTER_SIZE)
+        assert store.get(blob_id).size_bytes == 3 * CLUSTER_SIZE
+        store.resize(blob_id, CLUSTER_SIZE)   # shrink
+        assert store.get(blob_id).size_bytes == CLUSTER_SIZE
+        store.delete(blob_id)
+        with pytest.raises(BlobNotFoundError):
+            store.get(blob_id)
+
+    def test_unique_ids(self):
+        store = _store()
+        ids = {store.create() for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_deleted_clusters_reused(self):
+        store = _store(capacity=4 * CLUSTER_SIZE)
+        a = store.create(4 * CLUSTER_SIZE)
+        store.delete(a)
+        b = store.create(4 * CLUSTER_SIZE)   # would fail without reuse
+        assert store.get(b).size_bytes == 4 * CLUSTER_SIZE
+
+    def test_out_of_space(self):
+        store = _store(capacity=2 * CLUSTER_SIZE)
+        with pytest.raises(OutOfSpaceError):
+            store.create(3 * CLUSTER_SIZE)
+
+    def test_xattrs(self):
+        store = _store()
+        blob_id = store.create()
+        store.set_xattr(blob_id, "name", b"/data/file")
+        assert store.get_xattr(blob_id, "name") == b"/data/file"
+        with pytest.raises(KeyError):
+            store.get_xattr(blob_id, "missing")
+
+    def test_free_bytes_accounting(self):
+        store = _store(capacity=8 * CLUSTER_SIZE)
+        before = store.free_bytes
+        store.create(2 * CLUSTER_SIZE)
+        assert store.free_bytes == before - 2 * CLUSTER_SIZE
+
+
+class TestBlobIO:
+    def test_roundtrip(self):
+        store = _store()
+        blob_id = store.create(2 * CLUSTER_SIZE)
+        clock = CycleClock()
+        store.write(clock, blob_id, 100, b"hello blob")
+        assert store.read(clock, blob_id, 100, 10) == b"hello blob"
+
+    def test_cluster_spanning_io(self):
+        store = _store()
+        blob_id = store.create(2 * CLUSTER_SIZE)
+        clock = CycleClock()
+        data = bytes(range(256)) * 32   # 8 KB across the cluster boundary
+        offset = CLUSTER_SIZE - 4096
+        store.write(clock, blob_id, offset, data)
+        assert store.read(clock, blob_id, offset, len(data)) == data
+
+    def test_write_grows_blob(self):
+        store = _store()
+        blob_id = store.create(0)
+        clock = CycleClock()
+        store.write(clock, blob_id, 0, b"grow me")
+        assert store.get(blob_id).size_bytes >= 7
+
+    def test_translation_beyond_blob_rejected(self):
+        store = _store()
+        blob_id = store.create(CLUSTER_SIZE)
+        with pytest.raises(OutOfSpaceError):
+            store.device_offset(blob_id, CLUSTER_SIZE + 1)
+
+    def test_clusters_need_not_be_contiguous(self):
+        store = _store()
+        a = store.create(CLUSTER_SIZE)
+        b = store.create(CLUSTER_SIZE)
+        store.resize(a, 2 * CLUSTER_SIZE)   # a's second cluster is after b's
+        clock = CycleClock()
+        store.write(clock, a, CLUSTER_SIZE + 5, b"frag")
+        store.write(clock, b, 5, b"other")
+        assert store.read(clock, a, CLUSTER_SIZE + 5, 4) == b"frag"
+        assert store.read(clock, b, 5, 5) == b"other"
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=CLUSTER_SIZE * 2 - 64),
+           st.binary(min_size=1, max_size=64))
+    def test_random_offsets_roundtrip(self, offset, data):
+        store = _store()
+        blob_id = store.create(2 * CLUSTER_SIZE)
+        clock = CycleClock()
+        store.write(clock, blob_id, offset, data)
+        assert store.read(clock, blob_id, offset, len(data)) == data
+
+
+class TestFileBlobNamespace:
+    def test_open_creates_once(self):
+        store = _store()
+        ns = FileBlobNamespace(store)
+        a = ns.open("/data/x", size_bytes=CLUSTER_SIZE)
+        b = ns.open("/data/x")
+        assert a == b
+        assert ns.paths() == ["/data/x"]
+
+    def test_open_no_create(self):
+        ns = FileBlobNamespace(_store())
+        with pytest.raises(BlobNotFoundError):
+            ns.open("/missing", create=False)
+
+    def test_name_xattr_set(self):
+        store = _store()
+        ns = FileBlobNamespace(store)
+        blob_id = ns.open("/data/y")
+        assert store.get_xattr(blob_id, "name") == b"/data/y"
+
+    def test_unlink(self):
+        store = _store()
+        ns = FileBlobNamespace(store)
+        blob_id = ns.open("/data/z", size_bytes=CLUSTER_SIZE)
+        ns.unlink("/data/z")
+        with pytest.raises(BlobNotFoundError):
+            store.get(blob_id)
+        with pytest.raises(BlobNotFoundError):
+            ns.unlink("/data/z")

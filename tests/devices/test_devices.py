@@ -1,0 +1,94 @@
+"""NVMe and pmem device models against their datasheet anchors."""
+
+import pytest
+
+from repro.common import constants, units
+from repro.devices.nvme import NvmeDevice
+from repro.devices.pmem import PmemDevice
+from repro.hw.fpu import FPUContext
+from repro.sim.clock import CycleClock
+
+
+class TestNvme:
+    def test_4k_read_is_10us(self):
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.submit(clock, 0, 4096, is_write=False)
+        assert units.cycles_to_us(clock.now) == pytest.approx(10.0, rel=0.01)
+
+    def test_large_read_is_bandwidth_bound(self):
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.submit(clock, 0, 2 * units.MIB, is_write=False)
+        # 2 MB at 2.4 GB/s is ~833 us; far more than the 10 us latency.
+        assert units.cycles_to_us(clock.now) > 500
+
+    def test_default_capacity_matches_p4800x(self):
+        assert NvmeDevice().store.capacity_bytes == 375 * units.GIB
+
+    def test_iops_saturation(self):
+        """Sustained random reads cap near 550K IOPS."""
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        n = 2000
+        last_completion = 0.0
+        for _ in range(n):
+            last_completion = device.submit_async(clock, 0, 4096, is_write=False)
+        achieved_iops = n / units.cycles_to_seconds(last_completion)
+        assert achieved_iops < 650_000
+        assert achieved_iops > 450_000
+
+    def test_data_integrity(self):
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.submit(clock, 8192, 4096, is_write=True, data=b"\xAB" * 4096)
+        assert device.submit(clock, 8192, 4096, is_write=False) == b"\xAB" * 4096
+
+
+class TestPmem:
+    def test_kernel_path_4k_read(self):
+        """49% of the 5380-cycle Linux fault: ~2636 cycles (Figure 8(a))."""
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.submit(clock, 0, 4096, is_write=False)
+        assert clock.now == pytest.approx(2636, abs=5)
+
+    def test_dax_read_simd(self):
+        """AVX2 + FPU save/restore: 1200 cycles per 4 KB (Section 3.3)."""
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.dax_read(clock, FPUContext(True), 0, 4096)
+        assert clock.now == pytest.approx(constants.MEMCPY_4K_AQUILA_DAX_CYCLES)
+
+    def test_dax_read_nosimd(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.dax_read(clock, FPUContext(False), 0, 4096)
+        assert clock.now == pytest.approx(constants.MEMCPY_4K_NOSIMD_CYCLES)
+
+    def test_dax_write_roundtrip(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        fpu = FPUContext(True)
+        device.dax_write(clock, fpu, 123, b"persist")
+        assert device.dax_read(clock, fpu, 123, 7) == b"persist"
+
+    def test_dax_and_block_views_coherent(self):
+        """DAX writes are visible through the block path and vice versa."""
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        clock = CycleClock()
+        device.dax_write(clock, FPUContext(True), 0, b"via-dax!")
+        assert device.submit(clock, 0, 8, is_write=False) == b"via-dax!"
+        device.submit(clock, 100, 9, is_write=True, data=b"via-block")
+        assert device.dax_read(clock, FPUContext(True), 100, 9) == b"via-block"
+
+    def test_media_bandwidth_shared(self):
+        """Saturating DAX traffic backs up on the shared media timeline."""
+        device = PmemDevice(capacity_bytes=256 * units.MIB)
+        clock = CycleClock()
+        fpu = FPUContext(True)
+        # Dump 64 MB instantly through DAX: far beyond the burst.
+        for page in range(16384):
+            device.dax_read(clock, fpu, page * 4096, 4096)
+        # 64 MB at 40 GB/s is ~1.6 ms >> 16384 * 1200 cycles of pure copy.
+        assert units.cycles_to_seconds(clock.now) > 0.0012

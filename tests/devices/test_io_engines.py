@@ -1,0 +1,134 @@
+"""I/O access paths: cost structure of each way to reach a device."""
+
+import pytest
+
+from repro.common import constants, units
+from repro.devices.io_engines import DaxIO, HostSyscallIO, KernelFaultIO, SpdkIO
+from repro.devices.nvme import NvmeDevice
+from repro.devices.pmem import PmemDevice
+from repro.hw.vmx import ExecutionDomain, VMXCostModel
+from repro.sim.clock import CycleClock
+
+
+def _pmem():
+    return PmemDevice(capacity_bytes=64 * units.MIB)
+
+
+def _nvme():
+    return NvmeDevice(capacity_bytes=64 * units.MIB)
+
+
+class TestKernelFaultIO:
+    def test_pmem_no_irq(self):
+        path = KernelFaultIO(_pmem())
+        clock = CycleClock()
+        path.read(clock, 0, 4096)
+        assert clock.now == pytest.approx(2636, abs=5)
+
+    def test_nvme_pays_irq(self):
+        path = KernelFaultIO(_nvme())
+        clock = CycleClock()
+        path.read(clock, 0, 4096)
+        assert clock.now == pytest.approx(
+            units.us_to_cycles(10) + constants.HOST_NVME_COMPLETION_CYCLES, rel=0.01
+        )
+
+    def test_write_roundtrip(self):
+        device = _pmem()
+        path = KernelFaultIO(device)
+        clock = CycleClock()
+        path.write(clock, 0, b"kernel-path")
+        assert path.read(clock, 0, 11) == b"kernel-path"
+
+
+class TestHostSyscallIO:
+    def test_pmem_from_guest_is_7_77x_dax(self):
+        """Figure 8(c): HOST-pmem I/O = 7.77x the 1200-cycle DAX copy."""
+        vmx = VMXCostModel(ExecutionDomain.NONROOT_RING0)
+        path = HostSyscallIO(_pmem(), vmx)
+        clock = CycleClock()
+        path.read(clock, 0, 4096)
+        assert clock.now / constants.MEMCPY_4K_AQUILA_DAX_CYCLES == pytest.approx(
+            7.77, abs=0.05
+        )
+
+    def test_ring3_pays_syscall_not_vmcall(self):
+        ring3 = VMXCostModel(ExecutionDomain.ROOT_RING3)
+        guest = VMXCostModel(ExecutionDomain.NONROOT_RING0)
+        c1, c2 = CycleClock(), CycleClock()
+        HostSyscallIO(_pmem(), ring3).read(c1, 0, 4096)
+        HostSyscallIO(_pmem(), guest).read(c2, 0, 4096)
+        assert c2.now - c1.now == pytest.approx(
+            constants.VMCALL_CYCLES - constants.SYSCALL_CYCLES
+        )
+
+
+class TestSpdkIO:
+    def test_no_syscalls(self):
+        device = _nvme()
+        path = SpdkIO(device)
+        clock = CycleClock()
+        path.read(clock, 0, 4096)
+        expected = (
+            constants.SPDK_SUBMIT_CYCLES
+            + units.us_to_cycles(10)
+            + constants.SPDK_COMPLETION_CYCLES
+        )
+        assert clock.now == pytest.approx(expected, rel=0.01)
+
+    def test_spdk_beats_host_on_nvme(self):
+        """Figure 8(c): bypassing the host OS reduces overhead ~1.53x."""
+        c_spdk, c_host = CycleClock(), CycleClock()
+        SpdkIO(_nvme()).read(c_spdk, 0, 4096)
+        HostSyscallIO(_nvme(), VMXCostModel(ExecutionDomain.NONROOT_RING0)).read(
+            c_host, 0, 4096
+        )
+        assert c_host.now / c_spdk.now == pytest.approx(1.53, abs=0.05)
+
+    def test_poll_time_is_cpu_not_idle(self):
+        """SPDK burns CPU while polling (categorized .poll, not idle)."""
+        path = SpdkIO(_nvme())
+        clock = CycleClock()
+        path.read(clock, 0, 4096, "io")
+        assert clock.breakdown.prefix_total("io.poll") > 0
+
+
+class TestDaxIO:
+    def test_requires_pmem(self):
+        with pytest.raises(TypeError):
+            DaxIO(_nvme())
+
+    def test_read_cost(self):
+        path = DaxIO(_pmem(), use_simd=True)
+        clock = CycleClock()
+        path.read(clock, 0, 4096)
+        assert clock.now == pytest.approx(constants.MEMCPY_4K_AQUILA_DAX_CYCLES)
+
+    def test_write_roundtrip(self):
+        path = DaxIO(_pmem())
+        clock = CycleClock()
+        path.write(clock, 64, b"dax-bytes")
+        assert path.read(clock, 64, 9) == b"dax-bytes"
+
+
+class TestPathOrdering:
+    def test_figure8c_cost_ordering(self):
+        """DAX < HOST-pmem and SPDK < HOST-NVMe (Figure 8(c))."""
+        costs = {}
+        clock = CycleClock()
+        DaxIO(_pmem()).read(clock, 0, 4096)
+        costs["dax"] = clock.now
+        clock = CycleClock()
+        HostSyscallIO(_pmem(), VMXCostModel(ExecutionDomain.NONROOT_RING0)).read(
+            clock, 0, 4096
+        )
+        costs["host-pmem"] = clock.now
+        clock = CycleClock()
+        SpdkIO(_nvme()).read(clock, 0, 4096)
+        costs["spdk"] = clock.now
+        clock = CycleClock()
+        HostSyscallIO(_nvme(), VMXCostModel(ExecutionDomain.NONROOT_RING0)).read(
+            clock, 0, 4096
+        )
+        costs["host-nvme"] = clock.now
+        assert costs["dax"] < costs["host-pmem"] < costs["spdk"] < costs["host-nvme"]

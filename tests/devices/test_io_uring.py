@@ -1,0 +1,114 @@
+"""io_uring model: batching semantics and the paper's stated trade-off."""
+
+import pytest
+
+from repro.common import constants, units
+from repro.devices.io_engines import HostSyscallIO
+from repro.devices.io_uring import IoUring, IoUringOp
+from repro.devices.nvme import NvmeDevice
+from repro.hw.vmx import ExecutionDomain, VMXCostModel
+from repro.sim.clock import CycleClock
+
+
+def _ring(queue_depth=64):
+    device = NvmeDevice(capacity_bytes=128 * units.MIB)
+    vmx = VMXCostModel(ExecutionDomain.ROOT_RING3)
+    return IoUring(device, vmx, queue_depth=queue_depth), device, vmx
+
+
+class TestBatching:
+    def test_one_syscall_per_batch(self):
+        ring, _, vmx = _ring()
+        clock = CycleClock()
+        ring.read_batch(clock, [i * 4096 for i in range(32)], 4096)
+        assert vmx.syscalls == 1
+        assert ring.ops_submitted == 32
+
+    def test_queue_depth_splits_batches(self):
+        ring, _, vmx = _ring(queue_depth=8)
+        clock = CycleClock()
+        ring.read_batch(clock, [i * 4096 for i in range(20)], 4096)
+        assert vmx.syscalls == 3   # 8 + 8 + 4
+
+    def test_empty_batch(self):
+        ring, _, vmx = _ring()
+        assert ring.submit_and_wait(CycleClock(), []) == []
+        assert vmx.syscalls == 0
+
+    def test_data_returned(self):
+        ring, device, _ = _ring()
+        clock = CycleClock()
+        device.submit(clock, 8192, 4096, is_write=True, data=b"\x42" * 4096)
+        results = ring.read_batch(clock, [8192], 4096)
+        assert results[0] == b"\x42" * 4096
+
+    def test_writes_land(self):
+        ring, device, _ = _ring()
+        clock = CycleClock()
+        op = IoUringOp(0, 4096, is_write=True, data=b"\x99" * 4096)
+        ring.submit_and_wait(clock, [op])
+        assert device.store.read_page(0) == b"\x99" * 4096
+
+    def test_rejects_zero_depth(self):
+        device = NvmeDevice(capacity_bytes=units.MIB)
+        with pytest.raises(ValueError):
+            IoUring(device, VMXCostModel(ExecutionDomain.ROOT_RING3), queue_depth=0)
+
+
+class TestPaperTradeoff:
+    """Section 7.1: less CPU, more throughput, worse tails than sync I/O."""
+
+    def _sync_costs(self, n):
+        device = NvmeDevice(capacity_bytes=128 * units.MIB)
+        vmx = VMXCostModel(ExecutionDomain.ROOT_RING3)
+        path = HostSyscallIO(device, vmx)
+        clock = CycleClock()
+        latencies = []
+        for i in range(n):
+            start = clock.now
+            path.read(clock, i * 4096, 4096)
+            latencies.append(clock.now - start)
+        return clock, latencies, vmx
+
+    def _async_costs(self, n):
+        ring, _, vmx = _ring(queue_depth=n)
+        clock = CycleClock()
+        submit = clock.now
+        ops = [IoUringOp(i * 4096, 4096) for i in range(n)]
+        ring.submit_and_wait(clock, ops)
+        latencies = [op.completion_cycles - submit for op in ops]
+        return clock, latencies, vmx
+
+    def test_async_higher_throughput(self):
+        n = 32
+        sync_clock, _, _ = self._sync_costs(n)
+        async_clock, _, _ = self._async_costs(n)
+        assert async_clock.now < sync_clock.now, "batch completes sooner overall"
+
+    def test_async_fewer_syscalls(self):
+        n = 32
+        _, _, sync_vmx = self._sync_costs(n)
+        _, _, async_vmx = self._async_costs(n)
+        assert async_vmx.syscalls == 1
+        assert sync_vmx.syscalls == n
+
+    def test_async_worse_tail_than_best_case(self):
+        """Batching spreads completions once the device queue saturates.
+
+        A batch larger than the NVMe's internal queue (128 commands)
+        queues its excess, so the last completions arrive much later than
+        the first — the paper's "increases tail latency due to batching".
+        """
+        n = 256
+        _, async_lat, _ = self._async_costs(n)
+        spread = max(async_lat) - min(async_lat)
+        assert spread > min(async_lat), "saturated batch must spread completions"
+
+    def test_async_less_cpu_per_op(self):
+        """CPU work (not waiting) per op is far lower with batching."""
+        n = 64
+        sync_clock, _, _ = self._sync_costs(n)
+        async_clock, _, _ = self._async_costs(n)
+        sync_cpu = sync_clock.now - sync_clock.breakdown.prefix_total("idle")
+        async_cpu = async_clock.now - async_clock.breakdown.prefix_total("idle")
+        assert async_cpu < 0.5 * sync_cpu

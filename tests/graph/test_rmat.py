@@ -1,0 +1,65 @@
+"""R-MAT generation and CSR structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.rmat import CSRGraph, generate_rmat_edges, make_rmat_csr
+
+
+class TestGeneration:
+    def test_edge_count(self):
+        edges = generate_rmat_edges(100, 1000, seed=1)
+        assert len(edges) == 1000
+
+    def test_vertices_in_range(self):
+        edges = generate_rmat_edges(100, 1000, seed=1)
+        for src, dst in edges:
+            assert 0 <= src < 100
+            assert 0 <= dst < 100
+
+    def test_deterministic(self):
+        assert generate_rmat_edges(50, 200, seed=7) == generate_rmat_edges(50, 200, seed=7)
+        assert generate_rmat_edges(50, 200, seed=7) != generate_rmat_edges(50, 200, seed=8)
+
+    def test_skewed_degree_distribution(self):
+        """R-MAT produces heavy-tailed out-degrees (unlike uniform)."""
+        graph = make_rmat_csr(1000, edge_factor=10, seed=3)
+        degrees = sorted((graph.out_degree(v) for v in range(1000)), reverse=True)
+        top_share = sum(degrees[:50]) / max(1, sum(degrees))
+        assert top_share > 0.2, "top 5% of vertices should own >20% of edges"
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            generate_rmat_edges(0, 10)
+
+
+class TestCSR:
+    def test_structure(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 0)]
+        graph = CSRGraph(3, edges)
+        assert graph.num_edges == 4
+        assert sorted(graph.neighbors(0)) == [1, 2]
+        assert graph.neighbors(1) == [2]
+        assert graph.out_degree(2) == 1
+
+    def test_offsets_monotone(self):
+        graph = make_rmat_csr(200, 10, seed=2)
+        for v in range(200):
+            assert graph.offsets[v] <= graph.offsets[v + 1]
+        assert graph.offsets[-1] == graph.num_edges
+
+    def test_largest_degree_vertex(self):
+        edges = [(5, i) for i in range(10)] + [(0, 1)]
+        graph = CSRGraph(11, edges)
+        assert graph.largest_out_degree_vertex() == 5
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 60), st.integers(0, 300))
+    def test_edges_conserved(self, vertices, num_edges):
+        edges = generate_rmat_edges(vertices, num_edges, seed=11)
+        graph = CSRGraph(vertices, edges)
+        rebuilt = [
+            (v, n) for v in range(vertices) for n in graph.neighbors(v)
+        ]
+        assert sorted(rebuilt) == sorted(edges)

@@ -1,0 +1,86 @@
+"""Extended page table: grants, faults, huge-page granules."""
+
+import pytest
+
+from repro.common import constants, units
+from repro.common.errors import SegmentationFault
+from repro.hw.ept import EPT
+from repro.sim.clock import CycleClock
+
+
+class TestEPT:
+    def test_ungrated_access_faults(self):
+        ept = EPT("1G")
+        with pytest.raises(SegmentationFault):
+            ept.translate(0, CycleClock())
+
+    def test_first_touch_costs_ept_fault(self):
+        ept = EPT("1G")
+        ept.grant(0, units.GIB)
+        clock = CycleClock()
+        ept.translate(0, clock)
+        assert clock.now == constants.EPT_FAULT_CYCLES
+        assert ept.faults == 1
+
+    def test_second_touch_free(self):
+        ept = EPT("1G")
+        ept.grant(0, units.GIB)
+        clock = CycleClock()
+        ept.translate(0, clock)
+        before = clock.now
+        ept.translate(units.MIB, clock)   # same 1G granule
+        assert clock.now == before
+        assert ept.faults == 1
+
+    def test_1g_granule_covers_many_4k_pages(self):
+        """The paper's point: 1 GB granules make EPT faults negligible."""
+        ept = EPT("1G")
+        ept.grant(0, 2 * units.GIB)
+        clock = CycleClock()
+        for page in range(0, 1000):
+            ept.translate(page * units.PAGE_SIZE, clock)
+        assert ept.faults == 1
+
+    def test_4k_granule_faults_per_page(self):
+        ept = EPT("4K")
+        ept.grant(0, units.MIB)
+        clock = CycleClock()
+        for page in range(10):
+            ept.translate(page * units.PAGE_SIZE, clock)
+        assert ept.faults == 10
+
+    def test_translation_offsets_preserved(self):
+        ept = EPT("2M")
+        ept.grant(0, units.HUGE_2M)
+        clock = CycleClock()
+        base = ept.translate(0, clock)
+        assert ept.translate(12345, clock) == base + 12345
+
+    def test_distinct_granules_distinct_host_ranges(self):
+        ept = EPT("2M")
+        ept.grant(0, 2 * units.HUGE_2M)
+        clock = CycleClock()
+        first = ept.translate(0, clock)
+        second = ept.translate(units.HUGE_2M, clock)
+        assert abs(second - first) >= units.HUGE_2M
+
+    def test_revoke(self):
+        ept = EPT("2M")
+        ept.grant(0, units.HUGE_2M)
+        clock = CycleClock()
+        ept.translate(0, clock)
+        assert ept.revoke(0, units.HUGE_2M) == 1
+        with pytest.raises(SegmentationFault):
+            ept.translate(0, clock)
+
+    def test_accounting(self):
+        ept = EPT("2M")
+        ept.grant(0, 4 * units.HUGE_2M)
+        assert ept.granted_bytes() == 4 * units.HUGE_2M
+        assert ept.backed_bytes() == 0
+        ept.translate(0, CycleClock())
+        assert ept.backed_bytes() == units.HUGE_2M
+
+    def test_rejects_unknown_granule(self):
+        with pytest.raises(ValueError):
+            EPT("16M")

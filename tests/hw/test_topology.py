@@ -1,0 +1,56 @@
+"""NUMA/core topology of the simulated testbed."""
+
+import pytest
+
+from repro.hw.topology import Topology
+
+
+class TestDefaultTopology:
+    def test_paper_testbed_dimensions(self):
+        topo = Topology()
+        assert topo.num_cores == 16
+        assert topo.num_hw_threads == 32
+        assert topo.num_numa_nodes == 2
+
+    def test_hyperthread_siblings_share_core(self):
+        topo = Topology()
+        for i in range(16):
+            assert topo.core_of(i) == topo.core_of(i + 16)
+
+    def test_first_16_threads_distinct_cores(self):
+        topo = Topology()
+        cores = {topo.core_of(i) for i in range(16)}
+        assert len(cores) == 16
+
+    def test_numa_split(self):
+        topo = Topology()
+        node0 = topo.hw_threads_of_node(0)
+        node1 = topo.hw_threads_of_node(1)
+        assert len(node0) == len(node1) == 16
+        assert set(node0) | set(node1) == set(range(32))
+        assert not set(node0) & set(node1)
+
+    def test_out_of_range_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.core_of(32)
+        with pytest.raises(ValueError):
+            topo.core_of(-1)
+        with pytest.raises(ValueError):
+            topo.hw_threads_of_node(2)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(sockets=0)
+
+
+class TestCustomTopology:
+    def test_single_socket(self):
+        topo = Topology(sockets=1, cores_per_socket=4, threads_per_core=2)
+        assert topo.num_hw_threads == 8
+        assert topo.num_numa_nodes == 1
+        assert all(topo.numa_node_of(i) == 0 for i in range(8))
+
+    def test_spread_order_covers_all(self):
+        topo = Topology()
+        assert sorted(topo.spread_order()) == list(range(32))

@@ -1,0 +1,53 @@
+"""VMX domain transition costs."""
+
+from repro.common import constants
+from repro.hw.vmx import ExecutionDomain, VMXCostModel
+from repro.sim.clock import CycleClock
+
+
+class TestFaultEntry:
+    def test_ring3_trap(self):
+        vmx = VMXCostModel(ExecutionDomain.ROOT_RING3)
+        clock = CycleClock()
+        vmx.fault_entry(clock)
+        assert clock.now == constants.TRAP_RING3_CYCLES
+        assert vmx.traps == 1
+
+    def test_aquila_exception(self):
+        vmx = VMXCostModel(ExecutionDomain.NONROOT_RING0)
+        clock = CycleClock()
+        vmx.fault_entry(clock)
+        assert clock.now == constants.TRAP_AQUILA_CYCLES
+
+    def test_paper_ratio(self):
+        ring3 = VMXCostModel(ExecutionDomain.ROOT_RING3)
+        aquila = VMXCostModel(ExecutionDomain.NONROOT_RING0)
+        assert abs(ring3.trap_cost() / aquila.trap_cost() - 2.33) < 0.01
+
+
+class TestSyscalls:
+    def test_native_syscall(self):
+        vmx = VMXCostModel(ExecutionDomain.ROOT_RING3)
+        clock = CycleClock()
+        vmx.syscall(clock)
+        assert clock.now == constants.SYSCALL_CYCLES
+        assert vmx.syscalls == 1
+        assert vmx.vmcalls == 0
+
+    def test_guest_syscall_is_vmcall(self):
+        """From non-root ring 0 host syscalls become vmcalls (Section 4.4)."""
+        vmx = VMXCostModel(ExecutionDomain.NONROOT_RING0)
+        clock = CycleClock()
+        vmx.syscall(clock)
+        assert clock.now == constants.VMCALL_CYCLES
+        assert vmx.vmcalls == 1
+        assert vmx.vmexits == 1
+
+    def test_vmcall_more_expensive_than_syscall(self):
+        assert constants.VMCALL_CYCLES > constants.SYSCALL_CYCLES
+
+    def test_explicit_vmexit(self):
+        vmx = VMXCostModel(ExecutionDomain.NONROOT_RING0)
+        clock = CycleClock()
+        vmx.vmexit(clock)
+        assert clock.now == constants.VMEXIT_CYCLES

@@ -1,0 +1,44 @@
+"""The experiment CLI."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_listed(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_threads_option(self):
+        args = build_parser().parse_args(["fig10a", "--threads", "1", "4"])
+        assert args.threads == [1, 4]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig8a_runs(self, capsys):
+        assert main(["fig8a"]) == 0
+        out = capsys.readouterr().out
+        assert "linux-mmap" in out and "aquila" in out
+
+    def test_fig10_with_small_sweep(self, capsys):
+        assert main(["fig10a", "--threads", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shared" in out and "private" in out
+
+    def test_fig9_single_workload(self, capsys):
+        assert main(["fig9", "--workloads", "C"]) == 0
+        out = capsys.readouterr().out
+        assert "kmmap" in out.lower() or "thr ratio" in out

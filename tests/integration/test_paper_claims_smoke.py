@@ -1,0 +1,61 @@
+"""Fast, tiny-scale versions of the paper's headline claims.
+
+The full reproductions live in ``benchmarks/``; these smoke tests keep the
+claims under regression watch at unit-test cost.
+"""
+
+import pytest
+
+from repro.bench.experiments.fig7 import run_fig7
+from repro.bench.experiments.fig8 import run_fig8a, run_fig8c
+from repro.bench.experiments.fig10 import run_config
+from repro.common import constants
+
+
+class TestFaultCosts:
+    def test_linux_fault_near_5380(self):
+        results = run_fig8a(accesses=200)
+        assert results["linux"]["mean_access_cycles"] == pytest.approx(5380, rel=0.05)
+
+    def test_aquila_fault_cheaper(self):
+        results = run_fig8a(accesses=200)
+        assert (
+            results["aquila"]["mean_access_cycles"]
+            < 0.75 * results["linux"]["mean_access_cycles"]
+        )
+
+    def test_cache_hit_fault_exactly_2179(self):
+        results = run_fig8c(accesses=150)
+        assert results["Cache-Hit"] == pytest.approx(2179, abs=10)
+
+    def test_device_path_ordering(self):
+        results = run_fig8c(accesses=150)
+        assert results["DAX-pmem"] < results["HOST-pmem"]
+        assert results["SPDK-NVMe"] < results["HOST-NVMe"]
+
+
+class TestScalabilityClaim:
+    def test_shared_file_gap_widens(self):
+        one = run_config("aquila", 1, True, True, cache_pages=512, total_accesses=512)
+        linux_one = run_config("linux", 1, True, True, cache_pages=512, total_accesses=512)
+        sixteen = run_config("aquila", 16, True, True, cache_pages=512, total_accesses=512)
+        linux_sixteen = run_config(
+            "linux", 16, True, True, cache_pages=512, total_accesses=512
+        )
+        gap_1 = one["throughput"] / linux_one["throughput"]
+        gap_16 = sixteen["throughput"] / linux_sixteen["throughput"]
+        assert gap_1 > 1.1
+        assert gap_16 > gap_1
+
+
+class TestRocksDBClaim:
+    def test_cache_management_reduction(self):
+        results = run_fig7(record_count=4096, operations=600, cache_pages=256)
+        # Paper: 2.58x fewer cache-management cycles, 40% more throughput.
+        assert results["cache_mgmt_ratio"] > 1.8
+        assert results["throughput_gain"] > 1.2
+        # Aquila's get CPU is higher (TLB effects) yet it still wins.
+        assert (
+            results["aquila"]["sections"]["get"]
+            >= results["direct"]["sections"]["get"]
+        )

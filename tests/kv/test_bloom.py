@@ -1,0 +1,60 @@
+"""Bloom filter: no false negatives, bounded false positives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.bloom import BloomFilter
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(1000)
+        keys = [f"key-{i}".encode() for i in range(1000)]
+        bloom.add_all(keys)
+        assert all(bloom.may_contain(k) for k in keys)
+
+    def test_false_positive_rate(self):
+        """10 bits/key, 7 probes: ~1% false positives (RocksDB default)."""
+        bloom = BloomFilter(2000, bits_per_key=10)
+        bloom.add_all(f"present-{i}".encode() for i in range(2000))
+        false_positives = sum(
+            1 for i in range(10_000) if bloom.may_contain(f"absent-{i}".encode())
+        )
+        assert false_positives / 10_000 < 0.03
+
+    def test_empty_filter_rejects(self):
+        bloom = BloomFilter(100)
+        assert not bloom.may_contain(b"anything")
+
+    def test_serialization_roundtrip(self):
+        bloom = BloomFilter(64)
+        keys = [f"k{i}".encode() for i in range(64)]
+        bloom.add_all(keys)
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        assert restored.num_bits == bloom.num_bits
+        assert restored.num_probes == bloom.num_probes
+        assert all(restored.may_contain(k) for k in keys)
+
+    def test_minimum_size(self):
+        bloom = BloomFilter(0)
+        assert bloom.num_bits >= 64
+        bloom.add(b"x")
+        assert bloom.may_contain(b"x")
+
+    @settings(max_examples=50)
+    @given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=50))
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(len(keys))
+        bloom.add_all(keys)
+        # Never a false negative, under any key set.
+        assert all(bloom.may_contain(k) for k in keys)
+
+    @settings(max_examples=30)
+    @given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=30))
+    def test_serialized_equals_original(self, keys):
+        bloom = BloomFilter(len(keys))
+        bloom.add_all(keys)
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        probes = [b"probe-%d" % i for i in range(50)]
+        for probe in probes:
+            assert bloom.may_contain(probe) == restored.may_contain(probe)

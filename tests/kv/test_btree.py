@@ -1,0 +1,95 @@
+"""File-resident B+tree (Kreon's per-level index)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.setups import make_aquila_stack
+from repro.common import units
+from repro.kv.btree import FileBTree, PageAllocator, node_capacity
+from repro.sim.executor import SimThread
+
+
+def _mapping(pages=512):
+    stack = make_aquila_stack("pmem", cache_pages=1024, capacity_bytes=128 * units.MIB)
+    file = stack.allocator.create("vol", pages * units.PAGE_SIZE)
+    thread = SimThread(core=0)
+    return stack, stack.engine.mmap(thread, file), thread
+
+
+def _entries(n):
+    return [(b"key-%08d" % i, i * 7) for i in range(n)]
+
+
+class TestPageAllocator:
+    def test_allocates_from_top_down(self):
+        allocator = PageAllocator(100)
+        assert allocator.allocate() == 99
+        assert allocator.allocate() == 98
+        assert allocator.low_water_page == 98
+
+
+class TestBuildAndLookup:
+    def test_empty(self):
+        _, mapping, thread = _mapping()
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), [])
+        assert tree.lookup(thread, b"any") is None
+        assert tree.entry_count == 0
+
+    def test_lookup_every_key(self):
+        _, mapping, thread = _mapping()
+        entries = _entries(1000)
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), entries)
+        for key, pointer in entries:
+            assert tree.lookup(thread, key) == pointer
+
+    def test_lookup_missing(self):
+        _, mapping, thread = _mapping()
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), _entries(100))
+        assert tree.lookup(thread, b"key-99999999") is None
+        assert tree.lookup(thread, b"aaa") is None
+        assert tree.lookup(thread, b"key-00000050x") is None
+
+    def test_multi_level_tree(self):
+        _, mapping, thread = _mapping()
+        entries = _entries(2000)
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), entries, fanout=16)
+        assert tree.height >= 3
+        assert tree.lookup(thread, b"key-00001234") == 1234 * 7
+
+    def test_node_reads_counted(self):
+        """Every lookup walks height nodes through the mapping (mmio!)."""
+        _, mapping, thread = _mapping()
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), _entries(500), fanout=8)
+        before = tree.node_reads
+        tree.lookup(thread, b"key-00000100")
+        assert tree.node_reads - before == tree.height
+
+    def test_items_in_order(self):
+        _, mapping, thread = _mapping()
+        entries = _entries(300)
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), entries)
+        assert list(tree.items(thread)) == entries
+
+    def test_scan_from(self):
+        _, mapping, thread = _mapping()
+        tree = FileBTree.build(thread, mapping, PageAllocator(512), _entries(100))
+        result = tree.scan_from(thread, b"key-00000050", 5)
+        assert [k for k, _ in result] == [b"key-%08d" % i for i in range(50, 55)]
+
+    def test_node_capacity(self):
+        assert node_capacity(16) > 100   # many short keys per 4K node
+        assert node_capacity(1000) >= 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=20), min_size=1, max_size=120))
+def test_model_equivalence(keys):
+    _, mapping, thread = _mapping()
+    entries = sorted((k, i) for i, k in enumerate(sorted(keys)))
+    tree = FileBTree.build(thread, mapping, PageAllocator(512), entries, fanout=8)
+    model = dict(entries)
+    for key, pointer in model.items():
+        assert tree.lookup(thread, key) == pointer
+    for probe in (b"", b"\xff" * 21, b"probe"):
+        assert tree.lookup(thread, probe) == model.get(probe)

@@ -1,0 +1,81 @@
+"""Skiplist memtable."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.memtable import TOMBSTONE, Memtable
+
+keys = st.binary(min_size=1, max_size=24)
+values = st.binary(max_size=64)
+
+
+class TestBasics:
+    def test_put_get(self):
+        table = Memtable()
+        table.put(b"k", b"v")
+        assert table.get(b"k") == b"v"
+        assert table.get(b"missing") is None
+
+    def test_overwrite(self):
+        table = Memtable()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2")
+        assert table.get(b"k") == b"v2"
+        assert len(table) == 1
+
+    def test_delete_leaves_tombstone(self):
+        table = Memtable()
+        table.put(b"k", b"v")
+        table.delete(b"k")
+        assert table.get(b"k") == TOMBSTONE
+
+    def test_items_sorted(self):
+        table = Memtable()
+        for key in [b"c", b"a", b"b"]:
+            table.put(key, key)
+        assert [k for k, _ in table.items()] == [b"a", b"b", b"c"]
+
+    def test_range_items(self):
+        table = Memtable()
+        for i in range(10):
+            table.put(f"k{i}".encode(), b"v")
+        result = table.range_items(b"k3", 4)
+        assert [k for k, _ in result] == [b"k3", b"k4", b"k5", b"k6"]
+
+    def test_range_items_beyond_end(self):
+        table = Memtable()
+        table.put(b"a", b"v")
+        assert table.range_items(b"z", 5) == []
+
+    def test_size_accounting(self):
+        table = Memtable()
+        table.put(b"key", b"value")
+        assert table.approximate_bytes == 8
+        table.put(b"key", b"longer-value")   # resize accounted
+        assert table.approximate_bytes == 3 + 12
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(keys, values), max_size=60))
+def test_model_equivalence(entries):
+    table = Memtable()
+    model = {}
+    for key, value in entries:
+        table.put(key, value)
+        model[key] = value
+    assert len(table) == len(model)
+    assert [k for k, _ in table.items()] == sorted(model)
+    for key, value in model.items():
+        assert table.get(key) == value
+
+
+@settings(max_examples=50)
+@given(st.lists(keys, min_size=1, max_size=40), keys, st.integers(1, 10))
+def test_range_matches_sorted_slice(all_keys, start, count):
+    table = Memtable()
+    for key in all_keys:
+        table.put(key, key)
+    got = [k for k, _ in table.range_items(start, count)]
+    expected = sorted(set(k for k in all_keys if k >= start))[:count]
+    assert got == expected

@@ -1,0 +1,94 @@
+"""MultiGet: batched lookups, optionally over io_uring."""
+
+import pytest
+
+from repro.common import units
+from repro.devices.io_uring import IoUring
+from repro.devices.pmem import PmemDevice
+from repro.hw.machine import Machine
+from repro.hw.vmx import ExecutionDomain, VMXCostModel
+from repro.kv.env import DirectIOEnv
+from repro.kv.rocksdb import RocksDB
+from repro.mmio.explicit import ExplicitIOEngine
+from repro.mmio.files import ExtentAllocator
+from repro.sim.executor import SimThread
+
+
+def _db(with_uring: bool):
+    device = PmemDevice(capacity_bytes=512 * units.MIB)
+    machine = Machine()
+    io = ExplicitIOEngine(machine, cache_pages=64)
+    allocator = ExtentAllocator(device)
+    ring = (
+        IoUring(device, VMXCostModel(ExecutionDomain.ROOT_RING3), queue_depth=64)
+        if with_uring
+        else None
+    )
+    env = DirectIOEnv(io, allocator, io_uring=ring)
+    db = RocksDB(env, memtable_bytes=8 * units.KIB, sst_bytes=16 * units.KIB)
+    return db, SimThread(core=0)
+
+
+def _load(db, thread, n=400):
+    for i in range(n):
+        db.put(thread, b"key-%04d" % i, b"val-%04d" % i)
+    db.flush(thread)
+    db.compact_all(thread)
+
+
+@pytest.mark.parametrize("with_uring", [False, True])
+class TestMultiGetCorrectness:
+    def test_matches_single_gets(self, with_uring):
+        db, thread = _db(with_uring)
+        _load(db, thread)
+        keys = [b"key-%04d" % i for i in range(0, 400, 7)] + [b"missing-key"]
+        batched = db.multi_get(thread, keys)
+        singles = [db.get(thread, key) for key in keys]
+        assert batched == singles
+
+    def test_memtable_hits(self, with_uring):
+        db, thread = _db(with_uring)
+        _load(db, thread, n=100)
+        db.put(thread, b"key-0003", b"FRESH")
+        results = db.multi_get(thread, [b"key-0003", b"key-0004"])
+        assert results == [b"FRESH", b"val-0004"]
+
+    def test_tombstone_shadows_older_value(self, with_uring):
+        db, thread = _db(with_uring)
+        _load(db, thread, n=100)
+        db.delete(thread, b"key-0005")
+        results = db.multi_get(thread, [b"key-0005", b"key-0006"])
+        assert results == [None, b"val-0006"]
+
+    def test_duplicate_keys(self, with_uring):
+        db, thread = _db(with_uring)
+        _load(db, thread, n=50)
+        results = db.multi_get(thread, [b"key-0001", b"key-0001"])
+        assert results == [b"val-0001", b"val-0001"]
+
+    def test_empty_batch(self, with_uring):
+        db, thread = _db(with_uring)
+        assert db.multi_get(thread, []) == []
+
+
+class TestMultiGetBatching:
+    def test_uring_batches_syscalls(self):
+        db, thread = _db(with_uring=True)
+        _load(db, thread)
+        ring = db.env.io_uring
+        syscalls_before = ring.vmx.syscalls
+        keys = [b"key-%04d" % i for i in range(0, 300, 3)]   # 100 cold keys
+        db.multi_get(thread, keys)
+        batch_syscalls = ring.vmx.syscalls - syscalls_before
+        assert 0 < batch_syscalls <= 5, "misses should go out in few batches"
+
+    def test_uring_faster_than_sequential(self):
+        def run(with_uring):
+            db, thread = _db(with_uring)
+            _load(db, thread)
+            start = thread.clock.now
+            keys = [b"key-%04d" % i for i in range(0, 400, 4)]
+            db.multi_get(thread, keys)
+            return thread.clock.now - start
+
+        assert run(True) < run(False)

@@ -1,0 +1,29 @@
+"""Shared engine fixtures for the mmio test suite."""
+
+import pytest
+
+from repro.bench.setups import make_aquila_stack, make_kmmap_stack, make_linux_stack
+
+ENGINE_MAKERS = {
+    "linux": make_linux_stack,
+    "aquila": make_aquila_stack,
+    "kmmap": make_kmmap_stack,
+}
+
+
+@pytest.fixture(params=sorted(ENGINE_MAKERS))
+def engine_kind(request):
+    """Parametrizes a test over all three mmio engines."""
+    return request.param
+
+
+@pytest.fixture
+def make_stack(engine_kind):
+    """Factory building a fresh stack of the parametrized engine kind."""
+
+    def _make(cache_pages=64, device_kind="pmem", **kwargs):
+        return ENGINE_MAKERS[engine_kind](
+            device_kind, cache_pages=cache_pages, **kwargs
+        )
+
+    return _make

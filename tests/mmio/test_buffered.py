@@ -1,0 +1,120 @@
+"""Buffered I/O (Figure 1(a)) and the four-configuration cost ordering."""
+
+import pytest
+
+from repro.common import constants, units
+from repro.hw.machine import Machine
+from repro.mmio.buffered import BufferedIOEngine
+from repro.mmio.files import ExtentAllocator
+from repro.devices.pmem import PmemDevice
+from repro.sim.executor import SimThread
+
+
+def _setup(cache_pages=64, file_pages=128):
+    machine = Machine()
+    device = PmemDevice(capacity_bytes=64 * units.MIB)
+    engine = BufferedIOEngine(machine, cache_pages=cache_pages)
+    allocator = ExtentAllocator(device)
+    file = allocator.create("buf", file_pages * units.PAGE_SIZE)
+    return engine, file, SimThread(core=0)
+
+
+class TestBufferedIO:
+    def test_roundtrip(self):
+        engine, file, thread = _setup()
+        engine.pwrite(thread, file, 1000, b"buffered bytes")
+        assert engine.pread(thread, file, 1000, 14) == b"buffered bytes"
+
+    def test_write_is_lazy_fsync_persists(self):
+        engine, file, thread = _setup()
+        engine.pwrite(thread, file, 0, b"lazy")
+        assert file.device.store.read(file.device_offset(0), 4) != b"lazy"
+        assert engine.fsync(thread, file) == 1
+        assert file.device.store.read(file.device_offset(0), 4) == b"lazy"
+
+    def test_hit_still_pays_syscall_and_copy(self):
+        """Figure 1(a)'s pathology: hits are far from free."""
+        engine, file, thread = _setup()
+        engine.pread(thread, file, 0, 4096)   # warm
+        before = thread.clock.now
+        engine.pread(thread, file, 0, 4096)
+        hit_cost = thread.clock.now - before
+        assert hit_cost >= (
+            constants.SYSCALL_CYCLES
+            + constants.LINUX_PCACHE_LOOKUP_CYCLES
+            + constants.MEMCPY_4K_NOSIMD_CYCLES
+        )
+
+    def test_page_spanning(self):
+        engine, file, thread = _setup()
+        data = bytes(range(256)) * 40
+        engine.pwrite(thread, file, 4000, data)
+        assert engine.pread(thread, file, 4000, len(data)) == data
+
+    def test_eviction_with_writeback(self):
+        engine, file, thread = _setup(cache_pages=16, file_pages=64)
+        engine.pwrite(thread, file, 0, b"evict me safely")
+        for page in range(1, 64):
+            engine.pread(thread, file, page * units.PAGE_SIZE, 8)
+        assert engine.cache.resident_pages() <= 16
+        assert engine.pread(thread, file, 0, 15) == b"evict me safely"
+
+    def test_bounds(self):
+        engine, file, thread = _setup(file_pages=4)
+        with pytest.raises(ValueError):
+            engine.pread(thread, file, 4 * units.PAGE_SIZE, 1)
+        with pytest.raises(ValueError):
+            engine.pwrite(thread, file, 4 * units.PAGE_SIZE - 1, b"xx")
+
+
+class TestFigure1Ordering:
+    def test_hit_cost_across_configurations(self):
+        """Figure 1: cache *hits* cost real software in (a) and (b) but are
+        hardware-only under mmio (c)/(d) — the paper's core motivation.
+
+        Per-hit cost of reading 1 KB that is already cached, in each of
+        the four configurations.
+        """
+        from repro.bench.setups import make_aquila_stack, make_linux_stack
+        from repro.mmio.explicit import ExplicitIOEngine
+
+        costs = {}
+
+        engine, file, thread = _setup()
+        engine.pread(thread, file, 0, 1024)
+        t0 = thread.clock.now
+        engine.pread(thread, file, 0, 1024)
+        costs["a-buffered"] = thread.clock.now - t0
+
+        machine = Machine()
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        io = ExplicitIOEngine(machine, cache_pages=64)
+        ufile = ExtentAllocator(device).create("u", 64 * units.PAGE_SIZE)
+        uthread = SimThread(core=0)
+        io.pread(uthread, ufile, 0, 1024)
+        t0 = uthread.clock.now
+        io.pread(uthread, ufile, 0, 1024)
+        costs["b-user-cache"] = uthread.clock.now - t0
+
+        for label, maker in (
+            ("c-mmap", make_linux_stack),
+            ("d-aquila", make_aquila_stack),
+        ):
+            stack = maker("pmem", cache_pages=64)
+            mfile = stack.allocator.create("m", 64 * units.PAGE_SIZE)
+            mthread = SimThread(core=0)
+            mapping = stack.engine.mmap(mthread, mfile)
+            mapping.load(mthread, 0, 1024)
+            t0 = mthread.clock.now
+            mapping.load(mthread, 0, 1024)
+            costs[label] = mthread.clock.now - t0
+
+        # The paper's Figure 1 point: configurations (a) and (b) pay real
+        # software cost on *every* hit; mmio hits (c)/(d) are hardware-only.
+        assert costs["a-buffered"] >= (
+            constants.SYSCALL_CYCLES + constants.LINUX_PCACHE_LOOKUP_CYCLES
+        )
+        assert costs["b-user-cache"] >= constants.USERCACHE_LOOKUP_CYCLES
+        assert costs["c-mmap"] < 200
+        assert costs["d-aquila"] < 200
+        assert min(costs["a-buffered"], costs["b-user-cache"]) > 5 * costs["c-mmap"]

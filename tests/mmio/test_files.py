@@ -1,0 +1,116 @@
+"""Backing files: extents, blob files, allocator reuse."""
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import OutOfSpaceError
+from repro.devices.blobstore import CLUSTER_SIZE, Blobstore
+from repro.devices.nvme import NvmeDevice
+from repro.devices.pmem import PmemDevice
+from repro.mmio.files import BlobFile, ExtentAllocator, ExtentFile
+
+
+class TestExtentFile:
+    def test_offsets_contiguous(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        file = ExtentFile("f", device, units.MIB, 8 * units.PAGE_SIZE)
+        assert file.device_offset(0) == units.MIB
+        assert file.device_offset(3) == units.MIB + 3 * units.PAGE_SIZE
+
+    def test_bounds(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        file = ExtentFile("f", device, 0, 4 * units.PAGE_SIZE)
+        with pytest.raises(OutOfSpaceError):
+            file.device_offset(4)
+
+    def test_unaligned_base_rejected(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        with pytest.raises(ValueError):
+            ExtentFile("f", device, 100, units.PAGE_SIZE)
+
+    def test_beyond_capacity_rejected(self):
+        device = PmemDevice(capacity_bytes=units.MIB)
+        with pytest.raises(OutOfSpaceError):
+            ExtentFile("f", device, 0, 2 * units.MIB)
+
+    def test_contiguous_run_full(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        file = ExtentFile("f", device, 0, 8 * units.PAGE_SIZE)
+        assert file.contiguous_run(0, 100) == 8
+        assert file.contiguous_run(6, 100) == 2
+
+    def test_size_pages_rounds_up(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        file = ExtentFile("f", device, 0, units.PAGE_SIZE + 1)
+        assert file.size_pages == 2
+
+    def test_unique_file_ids(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        a = ExtentFile("a", device, 0, units.PAGE_SIZE)
+        b = ExtentFile("b", device, units.PAGE_SIZE, units.PAGE_SIZE)
+        assert a.file_id != b.file_id
+
+
+class TestExtentAllocator:
+    def test_non_overlapping(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        allocator = ExtentAllocator(device)
+        a = allocator.create("a", 10_000)
+        b = allocator.create("b", 10_000)
+        a_end = a.base_offset + units.page_align_up(a.size_bytes)
+        assert b.base_offset >= a_end
+
+    def test_free_reuse_first_fit(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        allocator = ExtentAllocator(device)
+        a = allocator.create("a", units.MIB)
+        b = allocator.create("b", units.MIB)
+        allocator.free(a)
+        c = allocator.create("c", units.MIB)
+        assert c.base_offset == a.base_offset
+
+    def test_free_split_on_smaller_reuse(self):
+        device = PmemDevice(capacity_bytes=64 * units.MIB)
+        allocator = ExtentAllocator(device)
+        a = allocator.create("a", 4 * units.PAGE_SIZE)
+        allocator.free(a)
+        small = allocator.create("s", units.PAGE_SIZE)
+        small2 = allocator.create("s2", units.PAGE_SIZE)
+        assert small.base_offset == a.base_offset
+        assert small2.base_offset == a.base_offset + units.PAGE_SIZE
+
+    def test_churn_does_not_exhaust(self):
+        """LSM-style create/delete churn stays within the device."""
+        device = PmemDevice(capacity_bytes=4 * units.MIB)
+        allocator = ExtentAllocator(device)
+        for _ in range(100):
+            file = allocator.create("tmp", units.MIB)
+            allocator.free(file)
+        assert allocator.bytes_allocated <= 4 * units.MIB
+
+
+class TestBlobFile:
+    def test_translation_via_clusters(self):
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        blobstore = Blobstore(device)
+        file = BlobFile.create("blobby", blobstore, 2 * CLUSTER_SIZE)
+        # Offsets within one cluster are contiguous.
+        assert file.device_offset(1) == file.device_offset(0) + units.PAGE_SIZE
+        assert file.size_pages == 2 * CLUSTER_SIZE // units.PAGE_SIZE
+
+    def test_contiguous_run_stops_at_cluster_gap(self):
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        blobstore = Blobstore(device)
+        a = BlobFile.create("a", blobstore, CLUSTER_SIZE)
+        blobstore.create(CLUSTER_SIZE)   # interleave another blob
+        blobstore.resize(a.blob_id, 2 * CLUSTER_SIZE)
+        a.size_bytes = 2 * CLUSTER_SIZE
+        pages_per_cluster = CLUSTER_SIZE // units.PAGE_SIZE
+        run = a.contiguous_run(0, 10_000)
+        assert run == pages_per_cluster
+
+    def test_name_xattr(self):
+        device = NvmeDevice(capacity_bytes=64 * units.MIB)
+        blobstore = Blobstore(device)
+        file = BlobFile.create("named", blobstore, CLUSTER_SIZE)
+        assert blobstore.get_xattr(file.blob_id, "name") == b"named"

@@ -1,0 +1,95 @@
+"""CycleClock and Breakdown accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import Breakdown, CycleClock
+
+
+class TestCycleClock:
+    def test_charge_advances(self):
+        clock = CycleClock()
+        clock.charge("a", 100)
+        clock.charge("b", 50)
+        assert clock.now == 150
+        assert clock.breakdown.get("a") == 100
+        assert clock.breakdown.get("b") == 50
+
+    def test_negative_charge_rejected(self):
+        clock = CycleClock()
+        with pytest.raises(ValueError):
+            clock.charge("x", -1)
+
+    def test_wait_until_future(self):
+        clock = CycleClock()
+        clock.charge("work", 100)
+        waited = clock.wait_until(500, "idle.io")
+        assert waited == 400
+        assert clock.now == 500
+        assert clock.breakdown.get("idle.io") == 400
+
+    def test_wait_until_past_is_noop(self):
+        clock = CycleClock()
+        clock.charge("work", 100)
+        assert clock.wait_until(50, "idle") == 0
+        assert clock.now == 100
+
+    def test_smt_cpi_factor_scales_work_not_waits(self):
+        clock = CycleClock()
+        clock.cpi_factor = 1.4
+        clock.charge("work", 100)
+        assert clock.now == pytest.approx(140)
+        clock.wait_until(200, "idle")
+        assert clock.now == 200   # waits are wall-clock, not CPI-scaled
+
+    def test_seconds_property(self):
+        clock = CycleClock()
+        clock.charge("x", 2_400_000_000)
+        assert clock.seconds == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+    def test_now_equals_total_charged(self, charges):
+        clock = CycleClock()
+        for i, cycles in enumerate(charges):
+            clock.charge(f"cat{i % 3}", cycles)
+        assert clock.now == pytest.approx(sum(charges))
+        assert clock.breakdown.total() == pytest.approx(sum(charges))
+
+
+class TestBreakdown:
+    def test_prefix_total(self):
+        breakdown = Breakdown()
+        breakdown.add("fault.trap", 100)
+        breakdown.add("fault.io.device", 200)
+        breakdown.add("faulty", 999)   # not a dotted child of "fault"
+        assert breakdown.prefix_total("fault") == 300
+        assert breakdown.prefix_total("fault.io") == 200
+        assert breakdown.prefix_total("faulty") == 999
+
+    def test_merge(self):
+        a, b = Breakdown(), Breakdown()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_scaled(self):
+        breakdown = Breakdown()
+        breakdown.add("x", 10)
+        half = breakdown.scaled(0.5)
+        assert half.get("x") == 5
+        assert breakdown.get("x") == 10   # original untouched
+
+    def test_zero_add_ignored(self):
+        breakdown = Breakdown()
+        breakdown.add("x", 0)
+        assert breakdown.as_dict() == {}
+
+    def test_items_sorted(self):
+        breakdown = Breakdown()
+        breakdown.add("b", 1)
+        breakdown.add("a", 2)
+        assert [k for k, _ in breakdown.items()] == ["a", "b"]

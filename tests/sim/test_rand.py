@@ -1,0 +1,97 @@
+"""Deterministic random streams and YCSB distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rand import (
+    LatestGenerator,
+    ScrambledZipfGenerator,
+    ZipfGenerator,
+    derive_seed,
+    fnv1a_64,
+    stream,
+)
+
+
+class TestSeeding:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_derive_seed_stream_independent(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_stream_reproducible(self):
+        a = [stream(7, "x").random() for _ in range(5)]
+        b = [stream(7, "x").random() for _ in range(5)]
+        assert a == b
+
+
+class TestFNV:
+    def test_known_distinct(self):
+        values = {fnv1a_64(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    @given(st.integers(min_value=0, max_value=1 << 64 - 1))
+    def test_in_64bit_range(self, value):
+        assert 0 <= fnv1a_64(value) < 1 << 64
+
+
+class TestZipf:
+    def test_range(self):
+        zipf = ZipfGenerator(100, rng=stream(1, "z"))
+        for _ in range(2000):
+            assert 0 <= zipf.next() < 100
+
+    def test_skew(self):
+        """Rank 0 must be drawn far more often than the median rank."""
+        zipf = ZipfGenerator(1000, rng=stream(1, "skew"))
+        counts = {}
+        for _ in range(20000):
+            v = zipf.next()
+            counts[v] = counts.get(v, 0) + 1
+        assert counts.get(0, 0) > 20 * counts.get(500, 1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=1.5)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_any_size_in_range(self, n):
+        zipf = ZipfGenerator(n, rng=stream(3, "any"))
+        for _ in range(20):
+            assert 0 <= zipf.next() < n
+
+
+class TestScrambledZipf:
+    def test_range_and_spread(self):
+        gen = ScrambledZipfGenerator(1000, rng=stream(2, "s"))
+        draws = [gen.next() for _ in range(5000)]
+        assert all(0 <= d < 1000 for d in draws)
+        # Scrambling spreads the hot keys away from rank 0: the most
+        # common value is usually not 0.
+        most_common = max(set(draws), key=draws.count)
+        hot_fraction = draws.count(most_common) / len(draws)
+        assert hot_fraction > 0.02, "still skewed after scrambling"
+
+
+class TestLatest:
+    def test_favors_recent(self):
+        gen = LatestGenerator(1000, rng=stream(4, "l"))
+        draws = [gen.next() for _ in range(5000)]
+        assert all(0 <= d < 1000 for d in draws)
+        recent = sum(1 for d in draws if d >= 900)
+        old = sum(1 for d in draws if d < 100)
+        assert recent > 5 * max(old, 1)
+
+    def test_grow_extends_range(self):
+        gen = LatestGenerator(10, rng=stream(5, "g"))
+        for _ in range(100):
+            gen.grow()
+        draws = [gen.next() for _ in range(500)]
+        assert max(draws) > 10, "new keys must become drawable"
+        assert all(0 <= d < 110 for d in draws)

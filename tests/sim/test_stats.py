@@ -1,0 +1,87 @@
+"""Latency statistics: percentiles, means, throughput."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import LatencyRecorder, speedup, throughput_ops_per_sec
+
+
+class TestLatencyRecorder:
+    def test_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.mean() == 0
+        assert recorder.p99() == 0
+        assert recorder.max() == 0
+
+    def test_known_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(1, 101))   # 1..100
+        assert recorder.p50() == 50
+        assert recorder.p99() == 99
+        assert recorder.percentile(100) == 100
+        assert recorder.max() == 100
+        assert recorder.mean() == pytest.approx(50.5)
+
+    def test_percentile_bounds(self):
+        recorder = LatencyRecorder()
+        recorder.record(1)
+        with pytest.raises(ValueError):
+            recorder.percentile(0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.extend([1, 2])
+        b.extend([3, 4])
+        a.merge(b)
+        assert a.count == 4
+        assert a.max() == 4
+
+    def test_tail_mean_skips_warmup(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1000] * 50 + [10] * 50)   # expensive warmup, cheap steady
+        assert recorder.tail_mean(0.5) == pytest.approx(10)
+        assert recorder.mean() == pytest.approx(505)
+
+    def test_tail_mean_after_sort_rejected(self):
+        recorder = LatencyRecorder()
+        recorder.extend([3, 1, 2])
+        recorder.p50()   # sorts
+        with pytest.raises(ValueError):
+            recorder.tail_mean(0.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1))
+    def test_percentiles_monotone(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        assert recorder.p50() <= recorder.p99() <= recorder.p999() <= recorder.max()
+        # Mean stays within the sample range modulo float summation error.
+        slack = 1e-6 * max(1.0, max(samples))
+        assert min(samples) - slack <= recorder.mean() <= max(samples) + slack
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1))
+    def test_percentile_is_a_sample(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        for pct in (1, 50, 99, 99.9, 100):
+            assert recorder.percentile(pct) in samples
+
+
+class TestThroughput:
+    def test_simple(self):
+        # 2.4e9 cycles = 1 s; 100 ops in 1 s.
+        assert throughput_ops_per_sec(100, 2_400_000_000) == pytest.approx(100.0)
+
+    def test_zero_elapsed(self):
+        assert throughput_ops_per_sec(100, 0) == 0.0
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_zero_improved(self):
+        assert speedup(10.0, 0.0) == float("inf")

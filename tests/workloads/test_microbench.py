@@ -1,0 +1,85 @@
+"""The paper's custom load/store microbenchmark."""
+
+import pytest
+
+from repro.bench.setups import make_aquila_stack
+from repro.common import units
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+
+def _stack(cache=128):
+    return make_aquila_stack("pmem", cache_pages=cache, capacity_bytes=256 * units.MIB)
+
+
+class TestTouchOnce:
+    def test_every_access_faults(self):
+        """The paper's 'each load/store results in a page fault' property."""
+        stack = _stack(cache=256)
+        file = stack.allocator.create("d", 256 * units.PAGE_SIZE)
+        config = MicrobenchConfig(num_threads=1, accesses_per_thread=200, touch_once=True)
+        result = run_microbench(stack.engine, file, config)
+        assert stack.engine.faults == result.total_ops == 200
+
+    def test_partitioning_covers_disjoint_pages(self):
+        stack = _stack(cache=512)
+        file = stack.allocator.create("d", 512 * units.PAGE_SIZE)
+        config = MicrobenchConfig(num_threads=4, accesses_per_thread=128, touch_once=True)
+        result = run_microbench(stack.engine, file, config)
+        # 4 x 128 distinct pages: every access was a distinct cold fault.
+        assert stack.engine.faults == 512
+        assert stack.engine.cache.resident_pages() == 512
+
+
+class TestUniformRandom:
+    def test_out_of_memory_regime_evicts(self):
+        stack = _stack(cache=64)
+        file = stack.allocator.create("d", 1024 * units.PAGE_SIZE)
+        config = MicrobenchConfig(
+            num_threads=2, accesses_per_thread=300, touch_once=False
+        )
+        run_microbench(stack.engine, file, config)
+        assert stack.engine.eviction_batches > 0
+        assert stack.engine.cache.resident_pages() <= 64
+
+    def test_write_fraction(self):
+        stack = _stack(cache=128)
+        file = stack.allocator.create("d", 64 * units.PAGE_SIZE)
+        config = MicrobenchConfig(
+            num_threads=1, accesses_per_thread=200, touch_once=False, write_fraction=1.0
+        )
+        run_microbench(stack.engine, file, config)
+        assert stack.engine.cache.dirty_count() > 0
+
+
+class TestModes:
+    def test_private_files_require_matching_count(self):
+        stack = _stack()
+        files = [stack.allocator.create(f"p{i}", 16 * units.PAGE_SIZE) for i in range(2)]
+        config = MicrobenchConfig(num_threads=3, accesses_per_thread=10, shared_file=False)
+        with pytest.raises(ValueError):
+            run_microbench(stack.engine, files, config)
+
+    def test_private_files_independent_mappings(self):
+        stack = _stack()
+        files = [stack.allocator.create(f"p{i}", 32 * units.PAGE_SIZE) for i in range(2)]
+        config = MicrobenchConfig(
+            num_threads=2, accesses_per_thread=16, touch_once=True, shared_file=False
+        )
+        result = run_microbench(stack.engine, files, config)
+        assert result.total_ops == 32
+
+    def test_deterministic(self):
+        def run():
+            stack = _stack()
+            file = stack.allocator.create("d", 128 * units.PAGE_SIZE)
+            config = MicrobenchConfig(num_threads=2, accesses_per_thread=50, seed=5)
+            return run_microbench(stack.engine, file, config).makespan_cycles
+
+        assert run() == run()
+
+    def test_smt_penalty_applied_beyond_16_threads(self):
+        stack = _stack(cache=2048)
+        file = stack.allocator.create("d", 2048 * units.PAGE_SIZE)
+        config = MicrobenchConfig(num_threads=32, accesses_per_thread=8)
+        result = run_microbench(stack.engine, file, config)
+        assert all(t.clock.cpi_factor > 1.0 for t in result.threads)
