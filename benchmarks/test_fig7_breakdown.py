@@ -35,6 +35,15 @@ def test_fig7_cycle_breakdown(once):
         ],
     )
 
+    # The sections are folded from a real traced run (repro.obs spans);
+    # the span-derived total must agree with the cycles the engines
+    # actually charged on the runner's clock to within 1%.
+    for mode in ("direct", "aquila"):
+        traced = results[mode]["trace_total_cycles"]
+        charged = results[mode]["charged_total_cycles"]
+        assert charged > 0
+        assert abs(traced - charged) / charged < 0.01, (mode, traced, charged)
+
     direct = results["direct"]["sections"]
     aquila = results["aquila"]["sections"]
     # Cache management dominates the explicit-I/O read path (~69% in paper).

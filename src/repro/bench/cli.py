@@ -173,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="YCSB workloads for fig9 (default: all of A-F)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a cycle trace and write Chrome trace-event JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/gauges/histograms and print a metrics table",
+    )
     return parser
 
 
@@ -184,7 +195,34 @@ def main(argv: List[str] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"  {name}")
         return 0
+    if args.trace or args.metrics:
+        from repro import obs
+
+        if args.trace:
+            # Fail fast on an unwritable path instead of after the run.
+            try:
+                with open(args.trace, "a"):
+                    pass
+            except OSError as exc:
+                print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
+                return 2
+            obs.enable_tracing()
+        if args.metrics:
+            # Must precede stack construction: components bind at __init__.
+            obs.enable_metrics()
     EXPERIMENTS[args.experiment](args)
+    if args.trace:
+        from repro import obs
+
+        events = obs.write_trace(args.trace)
+        print(f"trace: wrote {events} events to {args.trace}")
+        if obs.TRACER.dropped:
+            print(f"trace: ring buffer dropped {obs.TRACER.dropped} oldest spans")
+    if args.metrics:
+        from repro import obs
+        from repro.bench.report import metrics_table
+
+        metrics_table(obs.METRICS.snapshot()).show()
     return 0
 
 

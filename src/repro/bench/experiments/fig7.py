@@ -13,6 +13,12 @@ Aquila       3.9 K      17.5 K          18.5 K    ~40 K
 
 Headline: Aquila needs 2.58x fewer cycles for cache management and
 delivers ~40% higher throughput.
+
+The per-stage sections are derived from a traced run: every operation of
+the measured phase runs under ``repro.obs`` spans, and the exclusive
+(self) cycles of the span tree are folded into the figure's three
+sections.  The span-derived total is checked against the clock's own
+charged total by the benchmark suite (they must agree within 1%).
 """
 
 from __future__ import annotations
@@ -20,38 +26,37 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.setups import make_rocksdb
-from repro.sim.clock import Breakdown
+from repro.obs import TRACER, CycleAttribution
 from repro.sim.executor import Executor, SimThread
 from repro.workloads.ycsb import YCSBConfig, YCSBDriver
 
-#: Breakdown prefixes per Figure 7 section, for each mode.
-DEVICE_PREFIXES = ["idle.io", "fault.io", "io.dax", "writeback"]
-CACHE_MGMT_PREFIXES = [
-    "ucache",
-    "io.syscall",
-    "fault",
-    "cache",
-    "tlb",
-    "evict",
-    "reclaim",
-    "idle.lock",
-    "idle.atomic",
-    "atomic",
-    "lock",
-    "interference",
-    "idle.membw",
-]
-GET_PREFIXES = ["app.get"]
 
+def _sections_from_trace(att: CycleAttribution, gets: int) -> Dict[str, float]:
+    """Fold span self-cycles into the Figure 7 sections (cycles per get).
 
-def _section_totals(breakdown: Breakdown, gets: int) -> Dict[str, float]:
-    def total(prefixes) -> float:
-        return sum(breakdown.prefix_total(p) for p in prefixes)
+    * **device_io** — exclusive cycles of the spans that talk to the
+      device: fault reads, explicit-I/O device commands, writeback.
+    * **get** — the KV store's own lookup work, which the store charges
+      as ``app.get*`` directly on the operation span.
+    * **cache_mgmt** — everything else the traced ops spent: cache
+      lookups/inserts, eviction/reclaim, syscalls, TLB and lock work.
 
-    device = total(DEVICE_PREFIXES)
-    # fault.io is under both "fault" and the device list; subtract overlap.
-    cache = total(CACHE_MGMT_PREFIXES) - breakdown.prefix_total("fault.io")
-    get = total(GET_PREFIXES)
+    ``app.access`` (the raw load/store hit cost) is excluded from every
+    section, as in the paper's figure.
+    """
+    device = (
+        att.self_prefix_total("fault.io")
+        + att.self_prefix_total("io.device")
+        + att.self_prefix_total("writeback")
+    )
+    op_charges = att.charges_of_prefix("op")
+    get = sum(
+        cycles
+        for category, cycles in op_charges.items()
+        if category == "app.get" or category.startswith("app.get.")
+    )
+    excluded = op_charges.get("app.access", 0.0)
+    cache = att.total_cycles() - device - get - excluded
     return {
         "device_io": device / gets,
         "cache_mgmt": cache / gets,
@@ -92,17 +97,30 @@ def run_mode(
     runner.clock.now = loader.clock.now
     executor = Executor()
     executor.add(runner, driver.run_workload(runner, operations))
+
+    # Trace the measured phase.  If a caller (e.g. the CLI's --trace)
+    # already enabled tracing, keep its settings and window on a mark;
+    # otherwise trace just this phase.
+    was_enabled = TRACER.enabled
+    if not was_enabled:
+        TRACER.enable()
+    mark = TRACER.mark()
     phase_start = runner.clock.now
     result = executor.run()
     elapsed = result.makespan_cycles - phase_start
+    att = CycleAttribution.from_tracer(TRACER, since=mark)
+    if not was_enabled:
+        TRACER.disable()
 
-    sections = _section_totals(runner.clock.breakdown, operations)
+    sections = _sections_from_trace(att, operations)
     latencies = result.merged_latencies()
     from repro.sim.stats import throughput_ops_per_sec
 
     return {
         "mode": mode,
         "sections": sections,
+        "trace_total_cycles": att.total_cycles(),
+        "charged_total_cycles": runner.clock.breakdown.total(),
         "throughput": throughput_ops_per_sec(result.total_ops, elapsed),
         "mean_latency_cycles": latencies.mean(),
         "p999_cycles": latencies.p999(),

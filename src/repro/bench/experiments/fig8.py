@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.bench.setups import make_aquila_stack, make_linux_stack, scaled_pages
 from repro.common import units
 from repro.mmio.vma import MADV_RANDOM
+from repro.obs import DEFAULT_CYCLE_BUCKETS, METRICS
 from repro.sim.executor import SimThread
 from repro.workloads.microbench import MicrobenchConfig, run_microbench
 
@@ -75,7 +76,13 @@ def run_fault_benchmark(
     )
     result = run_microbench(stack.engine, file, config)
     latencies = result.merged_latencies()
-    steady_mean = latencies.tail_mean(0.5)   # before percentile sorts
+    steady_mean = latencies.tail_mean(0.5)   # order-safe: sorts use a cached view
+    if METRICS.enabled:
+        hist = METRICS.histogram(
+            f"latency.fault.{stack.engine.name}.{device_kind}",
+            buckets=DEFAULT_CYCLE_BUCKETS,
+        )
+        hist.observe_many(latencies.samples())
     faults = stack.engine.faults
     return {
         "engine": stack.engine.name,

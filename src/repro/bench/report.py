@@ -7,7 +7,7 @@ report, plus a paper-vs-measured line per headline claim, so
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 class Table:
@@ -59,6 +59,27 @@ def _format_cell(cell: Any) -> str:
             return f"{cell:.1f}"
         return f"{cell:.2f}"
     return str(cell)
+
+
+def metrics_table(snapshot: Dict[str, Any], title: str = "metrics") -> Table:
+    """Render a :meth:`MetricsRegistry.snapshot` as a two-column table.
+
+    Histograms (dict-valued entries) expand to one row per non-empty
+    bucket plus count/sum summary rows.
+    """
+    table = Table(title, ["metric", "value"])
+    for name, value in snapshot.items():
+        if isinstance(value, dict) and "buckets" in value:
+            table.add_row(f"{name}.count", value["count"])
+            table.add_row(f"{name}.sum", value["sum"])
+            for bound, count in value["buckets"]:
+                if count:
+                    table.add_row(f"{name}.le[{bound:g}]", count)
+            if value["overflow"]:
+                table.add_row(f"{name}.le[+inf]", value["overflow"])
+        else:
+            table.add_row(name, "n/a" if value is None else value)
+    return table
 
 
 def ratio_line(

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:   # break the cache <-> mmio import cycle
     from repro.mmio.files import BackingFile
 from repro.cache.base import CachePage
+from repro.obs import METRICS
 from repro.sim.clock import CycleClock
 
 
@@ -64,6 +65,17 @@ class AquilaCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        METRICS.bind_object(
+            "cache.aquila",
+            self,
+            {
+                "hits": "hits",
+                "misses": "misses",
+                "evictions": "evictions",
+                "resident_pages": lambda c: c.resident_pages(),
+                "dirty_pages": lambda c: c.dirty_count(),
+            },
+        )
 
     def resident_pages(self) -> int:
         """Pages currently cached."""

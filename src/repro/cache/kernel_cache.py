@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:   # break the cache <-> mmio import cycle
     from repro.mmio.files import BackingFile
 from repro.cache.base import CachePage
+from repro.obs import METRICS
 from repro.sim.clock import CycleClock
 from repro.sim.locks import SpinlockTimeline
 
@@ -56,6 +57,22 @@ class KernelPageCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        METRICS.bind_object(
+            "cache.kernel",
+            self,
+            {
+                "hits": "hits",
+                "misses": "misses",
+                "evictions": "evictions",
+                "resident_pages": lambda c: len(c._pages),
+                "tree_lock.contended": lambda c: sum(
+                    f.tree_lock.contended_acquisitions for f in c._files.values()
+                ),
+                "tree_lock.wait_cycles": lambda c: sum(
+                    f.tree_lock.total_wait_cycles for f in c._files.values()
+                ),
+            },
+        )
 
     def _file_cache(self, file: "BackingFile") -> _FileCache:
         cache = self._files.get(file.file_id)

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.common import constants
+from repro.obs import METRICS
 from repro.sim.clock import CycleClock
 from repro.sim.locks import SpinlockTimeline
 
@@ -43,6 +44,16 @@ class UserSpaceCache:
         self.misses = 0
         self.evictions = 0
         self.inserts = 0
+        METRICS.bind_object(
+            "cache.user",
+            self,
+            {
+                "hits": "hits",
+                "misses": "misses",
+                "evictions": "evictions",
+                "inserts": "inserts",
+            },
+        )
 
     def _shard_of(self, key: Tuple[int, int]) -> int:
         return hash(key) % self.num_shards

@@ -17,6 +17,7 @@ from typing import Dict, Optional
 
 from repro.common import units
 from repro.common.errors import OutOfSpaceError
+from repro.obs import METRICS
 from repro.sim.clock import CycleClock
 
 ZERO_PAGE = bytes(units.PAGE_SIZE)
@@ -211,6 +212,18 @@ class BlockDevice:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        METRICS.bind_object(
+            f"device.{self.name}",
+            self,
+            {
+                "reads": "reads",
+                "writes": "writes",
+                "bytes_read": "bytes_read",
+                "bytes_written": "bytes_written",
+                "queue_cycles.read": lambda dev: dev._read_timeline.total_queue_cycles,
+                "queue_cycles.write": lambda dev: dev._write_timeline.total_queue_cycles,
+            },
+        )
 
     @staticmethod
     def _make_timeline(iops_cap: Optional[float]) -> DeviceTimeline:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 from repro.common import constants
+from repro.obs import METRICS, TRACER
 from repro.sim.clock import CycleClock
 from repro.hw.tlb import TLB
 
@@ -73,6 +74,15 @@ class ShootdownController:
         self.shootdowns = 0
         self.ipis_sent = 0
         self.pages_invalidated = 0
+        METRICS.bind_object(
+            f"tlb.shootdown.{mode}",
+            self,
+            {
+                "count": "shootdowns",
+                "ipis_sent": "ipis_sent",
+                "pages_invalidated": "pages_invalidated",
+            },
+        )
 
     def _target_cores(self, vpns: Iterable[int], initiator_core: int) -> List[int]:
         vpn_list = list(vpns)
@@ -101,7 +111,16 @@ class ShootdownController:
             return 0
         self.shootdowns += 1
         self.pages_invalidated += len(vpn_list)
+        with TRACER.span("tlb.shootdown", clock):
+            return self._shootdown_batch(clock, initiator_core, vpn_list, category_prefix)
 
+    def _shootdown_batch(
+        self,
+        clock: CycleClock,
+        initiator_core: int,
+        vpn_list: List[int],
+        category_prefix: str,
+    ) -> int:
         local_tlb = self.tlbs[initiator_core]
         local_tlb.invalidate_many(vpn_list)
         clock.charge(

@@ -14,6 +14,7 @@ from typing import List
 from repro.hw.ipi import InterferenceAccount, ShootdownController
 from repro.hw.tlb import TLB
 from repro.hw.topology import Topology
+from repro.obs import METRICS
 from repro.sim.executor import SimThread
 
 
@@ -26,6 +27,21 @@ class Machine:
             TLB(tlb_capacity) for _ in range(self.topology.num_hw_threads)
         ]
         self.interference = InterferenceAccount()
+        METRICS.bind_object(
+            "tlb",
+            self,
+            {
+                "hits": lambda m: sum(t.hits for t in m.tlbs),
+                "misses": lambda m: sum(t.misses for t in m.tlbs),
+                "invalidations": lambda m: sum(t.invalidations for t in m.tlbs),
+                "flushes": lambda m: sum(t.flushes for t in m.tlbs),
+            },
+        )
+        METRICS.bind_object(
+            "interference",
+            self.interference,
+            {"ipi_cycles_delivered": "total_delivered"},
+        )
 
     def tlb_of(self, thread: SimThread) -> TLB:
         """The TLB of the hardware thread ``thread`` is pinned to."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from enum import Enum
 
 from repro.common import constants
+from repro.obs import METRICS
 from repro.sim.clock import CycleClock
 
 
@@ -33,6 +34,16 @@ class VMXCostModel:
         self.syscalls = 0
         self.vmcalls = 0
         self.vmexits = 0
+        METRICS.bind_object(
+            f"vmx.{domain.value}",
+            self,
+            {
+                "traps": "traps",
+                "syscalls": "syscalls",
+                "vmcalls": "vmcalls",
+                "vmexits": "vmexits",
+            },
+        )
 
     def fault_entry(self, clock: CycleClock, category: str = "fault.trap") -> None:
         """Deliver a page-fault exception to the handler.
@@ -41,6 +52,8 @@ class VMXCostModel:
         exception delivery on the alternate stack (Section 4.2).
         """
         self.traps += 1
+        # No span here: this single charge runs on every fault and stays
+        # visible as a charge category on the enclosing "fault" span.
         if self.domain is ExecutionDomain.ROOT_RING3:
             clock.charge(category, constants.TRAP_RING3_CYCLES)
         else:

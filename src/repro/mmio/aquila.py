@@ -34,6 +34,7 @@ from repro.hw.vmx import ExecutionDomain, VMXCostModel
 from repro.mmio.engine import Mapping, MmioEngine
 from repro.mmio.files import BackingFile
 from repro.mmio.vma import MADV_SEQUENTIAL, VMA, AquilaVMAStore
+from repro.obs import TRACER
 from repro.sim.executor import SimThread
 
 
@@ -115,6 +116,9 @@ class AquilaEngine(MmioEngine):
     def _fault(self, thread: SimThread, vma: VMA, vpn: int, is_write: bool) -> int:
         clock = thread.clock
         self.vmx.fault_entry(clock)   # 552-cycle non-root ring 0 exception
+        # No sub-spans around the vma/cache lookups: they are cheap, run on
+        # every fault, and their cycles stay visible as charge categories
+        # on the enclosing "fault" span.
         checked = self.vmas.lookup(clock, vpn)   # radix validity + entry lock
         if checked is None or checked.vma_id != vma.vma_id:
             raise SegmentationFault(vpn << units.PAGE_SHIFT)
@@ -162,21 +166,24 @@ class AquilaEngine(MmioEngine):
         self, thread: SimThread, vma: VMA, file: BackingFile, file_page: int
     ) -> CachePage:
         clock = thread.clock
-        frame = self._allocate_with_eviction(thread)
+        with TRACER.span("fault.alloc", clock):
+            frame = self._allocate_with_eviction(thread)
         if self.ept is not None:
             # First touch of a fresh cache granule faults in EPT (1 GB
             # granules make this essentially free; Section 3.5).
             self.ept.translate(frame * units.PAGE_SIZE, clock)
-        data = self.io_path.read(
-            clock, file.device_offset(file_page), units.PAGE_SIZE, "fault.io"
-        )
-        self.cache.pool.write(frame, data)
+        with TRACER.span("fault.io", clock):
+            data = self.io_path.read(
+                clock, file.device_offset(file_page), units.PAGE_SIZE, "fault.io"
+            )
+            self.cache.pool.write(frame, data)
         page = self.cache.insert(clock, file, file_page, frame)
         if page.frame != frame:
             # Lost the install race; recycle the speculative frame.
             self.cache.freelist.free(clock, thread.core, frame)
         if vma.advice == MADV_SEQUENTIAL and self.readahead_pages:
-            self._readahead(thread, vma, file, file_page)
+            with TRACER.span("fault.readahead", clock):
+                self._readahead(thread, vma, file, file_page)
         return page
 
     def _readahead(
@@ -210,25 +217,26 @@ class AquilaEngine(MmioEngine):
         """Synchronously evict a batch of cold pages (Section 3.2)."""
         clock = thread.clock
         self.eviction_batches += 1
-        victims = self.cache.pick_victims(clock, self.cache.eviction_batch)
-        if not victims:
-            raise OutOfMemoryError("cache empty but freelist dry")
+        with TRACER.span("evict", clock):
+            victims = self.cache.pick_victims(clock, self.cache.eviction_batch)
+            if not victims:
+                raise OutOfMemoryError("cache empty but freelist dry")
 
-        dirty = sorted(
-            (v for v in victims if v.dirty), key=lambda page: page.device_offset
-        )
-        if dirty:
-            self._write_back_dirty(thread, dirty, sync=True)
+            dirty = sorted(
+                (v for v in victims if v.dirty), key=lambda page: page.device_offset
+            )
+            if dirty:
+                self._write_back_dirty(thread, dirty, sync=True)
 
-        vpns: List[int] = []
-        for page in victims:
-            for vpn in page.mapped_vpns:
-                self.page_table.remove(vpn)
-                vpns.append(vpn)
-            page.mapped_vpns.clear()
-        self._shootdown(thread, vpns)
-        for page in victims:
-            self.cache.remove(clock, thread.core, page)
+            vpns: List[int] = []
+            for page in victims:
+                for vpn in page.mapped_vpns:
+                    self.page_table.remove(vpn)
+                    vpns.append(vpn)
+                page.mapped_vpns.clear()
+            self._shootdown(thread, vpns)
+            for page in victims:
+                self.cache.remove(clock, thread.core, page)
 
     def _write_back_dirty(
         self, thread: SimThread, pages: List[CachePage], sync: bool
@@ -238,12 +246,13 @@ class AquilaEngine(MmioEngine):
             # DAX writeback is a memcpy per run; merging still helps the
             # per-copy FPU save amortization.
             written = 0
-            for run in self._merge_runs(pages):
-                data = b"".join(self.cache.pool.read(page.frame) for page in run)
-                self.io_path.write(
-                    thread.clock, run[0].device_offset, data, "writeback.io"
-                )
-                written += len(run)
+            with TRACER.span("writeback.io", thread.clock):
+                for run in self._merge_runs(pages):
+                    data = b"".join(self.cache.pool.read(page.frame) for page in run)
+                    self.io_path.write(
+                        thread.clock, run[0].device_offset, data, "writeback.io"
+                    )
+                    written += len(run)
         else:
             written = self._write_back_pages(thread, pages, sync=sync)
         for page in pages:
@@ -258,25 +267,26 @@ class AquilaEngine(MmioEngine):
         Intercepted in ring 0: no vmcall, a plain function call
         (Section 4.4).
         """
-        thread.clock.charge("msync.entry", 100)
-        file = mapping.vma.file
-        first = mapping.vma.file_start_page
-        last = first + mapping.vma.num_pages
-        dirty = [
-            page
-            for page in self.cache.all_dirty_pages_sorted()
-            if page.file.file_id == file.file_id and first <= page.file_page < last
-        ]
-        if not dirty:
-            return 0
-        # Downgrade PTEs to read-only so future writes re-mark dirty.
-        vpns: List[int] = []
-        for page in dirty:
-            for vpn in page.mapped_vpns:
-                pte = self.page_table.lookup(vpn)
-                if pte is not None and pte.writable:
-                    pte.writable = False
-                    pte.dirty = False
-                    vpns.append(vpn)
-        self._shootdown(thread, vpns)
-        return self._write_back_dirty(thread, dirty, sync=True)
+        with TRACER.span("msync", thread.clock):
+            thread.clock.charge("msync.entry", 100)
+            file = mapping.vma.file
+            first = mapping.vma.file_start_page
+            last = first + mapping.vma.num_pages
+            dirty = [
+                page
+                for page in self.cache.all_dirty_pages_sorted()
+                if page.file.file_id == file.file_id and first <= page.file_page < last
+            ]
+            if not dirty:
+                return 0
+            # Downgrade PTEs to read-only so future writes re-mark dirty.
+            vpns: List[int] = []
+            for page in dirty:
+                for vpn in page.mapped_vpns:
+                    pte = self.page_table.lookup(vpn)
+                    if pte is not None and pte.writable:
+                        pte.writable = False
+                        pte.dirty = False
+                        vpns.append(vpn)
+            self._shootdown(thread, vpns)
+            return self._write_back_dirty(thread, dirty, sync=True)

@@ -35,6 +35,7 @@ from repro.mmio.vma import (
     VMA,
     VMAStore,
 )
+from repro.obs import METRICS, TRACER
 from repro.sim.executor import SimThread
 
 
@@ -94,6 +95,16 @@ class MmioEngine:
         self.major_faults = 0      # needed device I/O
         self.minor_faults = 0      # page present (race/hit) or write-protect
         self.wp_faults = 0         # write-protect (dirty-tracking) subset
+        METRICS.bind_object(
+            f"engine.{self.name}",
+            self,
+            {
+                "faults.total": "faults",
+                "faults.major": "major_faults",
+                "faults.minor": "minor_faults",
+                "faults.wp": "wp_faults",
+            },
+        )
 
     # -- mmap-compatible surface ------------------------------------------
 
@@ -269,9 +280,11 @@ class MmioEngine:
             self.faults += 1
             self.minor_faults += 1
             self.wp_faults += 1
-            return self._write_protect_fault(thread, mapping.vma, vpn, pte)
+            with TRACER.span("fault.wp", thread.clock):
+                return self._write_protect_fault(thread, mapping.vma, vpn, pte)
         self.faults += 1
-        return self._fault(thread, mapping.vma, vpn, is_write)
+        with TRACER.span("fault", thread.clock):
+            return self._fault(thread, mapping.vma, vpn, is_write)
 
     def invalidate_file(self, thread: SimThread, file: BackingFile) -> int:
         """Drop every cached page of ``file`` without writeback (deletion).
@@ -356,15 +369,16 @@ class MmioEngine:
         """
         pool = self._pool()
         completions: List[float] = []
-        for run in self._merge_runs(pages):
-            device: BlockDevice = run[0].file.device
-            data = b"".join(pool.read(page.frame) for page in run)
-            offset = run[0].device_offset
-            completion = device.submit_async(
-                thread.clock, offset, len(data), is_write=True, data=data
-            )
-            thread.clock.charge(category + ".submit", 400 + 30 * len(run))
-            completions.append(completion)
-        if sync and completions:
-            thread.clock.wait_until(max(completions), "idle.io.writeback")
+        with TRACER.span("writeback.io", thread.clock):
+            for run in self._merge_runs(pages):
+                device: BlockDevice = run[0].file.device
+                data = b"".join(pool.read(page.frame) for page in run)
+                offset = run[0].device_offset
+                completion = device.submit_async(
+                    thread.clock, offset, len(data), is_write=True, data=data
+                )
+                thread.clock.charge(category + ".submit", 400 + 30 * len(run))
+                completions.append(completion)
+            if sync and completions:
+                thread.clock.wait_until(max(completions), "idle.io.writeback")
         return len(pages)

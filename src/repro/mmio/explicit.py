@@ -17,6 +17,7 @@ from repro.cache.user_cache import UserSpaceCache
 from repro.hw.machine import Machine
 from repro.hw.vmx import ExecutionDomain, VMXCostModel
 from repro.mmio.files import BackingFile
+from repro.obs import METRICS, TRACER
 from repro.sim.executor import SimThread
 
 #: RocksDB reads SST data in block-sized units; blocks here are one page.
@@ -41,26 +42,37 @@ class ExplicitIOEngine:
         self.syscall_miss_cycles = syscall_miss_cycles
         self.reads = 0
         self.writes = 0
+        METRICS.bind_object(
+            f"engine.{self.name}",
+            self,
+            {"reads": "reads", "writes": "writes"},
+        )
 
     def _read_block(self, thread: SimThread, file: BackingFile, block: int) -> bytes:
         """One cached block read: user-cache probe, then direct-I/O pread."""
         clock = thread.clock
         self.machine.absorb_interference(thread)
-        data = self.cache.get(clock, thread.tid, file.file_id, block)
+        with TRACER.span("ucache.lookup", clock):
+            data = self.cache.get(clock, thread.tid, file.file_id, block)
         if data is not None:
             return data
         # Direct-I/O pread: syscall + VFS/filesystem/block-layer work
         # (the Figure 7 "system calls" component), then the device.
-        self.vmx.syscall(clock, "io.syscall")
-        clock.charge("io.syscall.kernel", self.syscall_miss_cycles - constants.SYSCALL_CYCLES)
-        data = file.device.submit(
-            clock,
-            file.device_offset(block),
-            BLOCK_SIZE,
-            is_write=False,
-            wait_category="idle.io.read",
-        )
-        self.cache.insert(clock, thread.tid, file.file_id, block, data)
+        with TRACER.span("io.syscall", clock):
+            self.vmx.syscall(clock, "io.syscall")
+            clock.charge(
+                "io.syscall.kernel", self.syscall_miss_cycles - constants.SYSCALL_CYCLES
+            )
+        with TRACER.span("io.device", clock):
+            data = file.device.submit(
+                clock,
+                file.device_offset(block),
+                BLOCK_SIZE,
+                is_write=False,
+                wait_category="idle.io.read",
+            )
+        with TRACER.span("ucache.insert", clock):
+            self.cache.insert(clock, thread.tid, file.file_id, block, data)
         return data
 
     def pread(self, thread: SimThread, file: BackingFile, offset: int, nbytes: int) -> bytes:
@@ -95,31 +107,35 @@ class ExplicitIOEngine:
         self.writes += 1
         clock = thread.clock
         self.machine.absorb_interference(thread)
-        self.vmx.syscall(clock, "io.syscall")
-        clock.charge("io.syscall.kernel", self.syscall_miss_cycles - constants.SYSCALL_CYCLES)
+        with TRACER.span("io.syscall", clock):
+            self.vmx.syscall(clock, "io.syscall")
+            clock.charge(
+                "io.syscall.kernel", self.syscall_miss_cycles - constants.SYSCALL_CYCLES
+            )
         # Direct I/O bypasses the cache; stale cached blocks must go.  New
         # files (the common case: WAL, compaction output) have none.
         self.cache.invalidate_range(
             file.file_id, offset // BLOCK_SIZE, (offset + len(data) - 1) // BLOCK_SIZE
         )
         # Submit per device-contiguous run (extent files are one run).
-        pos = offset
-        written = 0
-        while written < len(data):
-            page = pos // units.PAGE_SIZE
-            in_page = pos % units.PAGE_SIZE
-            run_pages = file.contiguous_run(page, units.pages(len(data) - written) + 1)
-            take = min(len(data) - written, run_pages * units.PAGE_SIZE - in_page)
-            file.device.submit(
-                clock,
-                file.device_offset(page) + in_page,
-                take,
-                is_write=True,
-                data=data[written : written + take],
-                wait_category="idle.io.write",
-            )
-            pos += take
-            written += take
+        with TRACER.span("io.device", clock):
+            pos = offset
+            written = 0
+            while written < len(data):
+                page = pos // units.PAGE_SIZE
+                in_page = pos % units.PAGE_SIZE
+                run_pages = file.contiguous_run(page, units.pages(len(data) - written) + 1)
+                take = min(len(data) - written, run_pages * units.PAGE_SIZE - in_page)
+                file.device.submit(
+                    clock,
+                    file.device_offset(page) + in_page,
+                    take,
+                    is_write=True,
+                    data=data[written : written + take],
+                    wait_category="idle.io.write",
+                )
+                pos += take
+                written += take
 
     def fsync(self, thread: SimThread, file: BackingFile) -> None:
         """Direct I/O writes are durable on completion; fsync is a syscall."""

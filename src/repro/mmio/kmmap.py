@@ -28,6 +28,7 @@ from repro.devices.io_engines import KernelFaultIO
 from repro.hw.machine import Machine
 from repro.hw.vmx import ExecutionDomain, VMXCostModel
 from repro.mmio.aquila import AquilaEngine
+from repro.obs import TRACER
 
 
 class KmmapEngine(AquilaEngine):
@@ -70,5 +71,6 @@ class KmmapEngine(AquilaEngine):
 
     def msync(self, thread, mapping) -> int:
         """CoW-timestamp msync: a syscall, then the shared flush logic."""
-        self.vmx.syscall(thread.clock, "syscall.msync")
+        with TRACER.span("msync.syscall", thread.clock):
+            self.vmx.syscall(thread.clock, "syscall.msync")
         return super().msync(thread, mapping)

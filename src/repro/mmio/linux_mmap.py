@@ -30,6 +30,7 @@ from repro.hw.vmx import ExecutionDomain, VMXCostModel
 from repro.mmio.engine import Mapping, MmioEngine
 from repro.mmio.files import BackingFile
 from repro.mmio.vma import MADV_RANDOM, MADV_SEQUENTIAL, VMA, LinuxVMAStore
+from repro.obs import TRACER
 from repro.sim.executor import SimThread
 
 #: Linux direct reclaim works in SWAP_CLUSTER_MAX-sized batches.
@@ -92,6 +93,9 @@ class LinuxMmapEngine(MmioEngine):
     def _fault(self, thread: SimThread, vma: VMA, vpn: int, is_write: bool) -> int:
         clock = thread.clock
         self.vmx.fault_entry(clock)
+        # No sub-spans around the vma/cache lookups: they are cheap, run on
+        # every fault, and their cycles stay visible as charge categories
+        # on the enclosing "fault" span.
         checked = self.vmas.lookup(clock, vpn)   # mmap_sem + rb-tree walk
         if checked is None or checked.vma_id != vma.vma_id:
             raise SegmentationFault(vpn << units.PAGE_SHIFT)
@@ -155,7 +159,7 @@ class LinuxMmapEngine(MmioEngine):
         # page is pinned (PG_locked) until its data arrives so concurrent
         # reclaim cannot steal it.
         fresh: List[tuple] = []   # (page_index, frame)
-        try:
+        with TRACER.span("fault.alloc", clock):
             for page_index in range(window[0], window[1]):
                 if self.cache.get_nocost(file, page_index) is not None:
                     continue
@@ -163,8 +167,7 @@ class LinuxMmapEngine(MmioEngine):
                 self.cache.insert(clock, thread.tid, file, page_index, frame)
                 self._pinned.add((file.file_id, page_index))
                 fresh.append((page_index, frame))
-        finally:
-            pass  # pins released after phase 2 below
+            # pins released after phase 2 below
 
         # Phase 2: read device data into the new frames, merging
         # device-contiguous runs; only the run containing the faulting
@@ -195,13 +198,14 @@ class LinuxMmapEngine(MmioEngine):
                 )
             run.clear()
 
-        for page_index, frame in fresh:
-            if run and file.device_offset(page_index) != file.device_offset(
-                run[-1][0]
-            ) + units.PAGE_SIZE:
-                flush_run()
-            run.append((page_index, frame))
-        flush_run()
+        with TRACER.span("fault.io", clock):
+            for page_index, frame in fresh:
+                if run and file.device_offset(page_index) != file.device_offset(
+                    run[-1][0]
+                ) + units.PAGE_SIZE:
+                    flush_run()
+                run.append((page_index, frame))
+            flush_run()
         for page_index, _ in fresh:
             self._pinned.discard((file.file_id, page_index))
 
@@ -250,6 +254,11 @@ class LinuxMmapEngine(MmioEngine):
         """
         clock = thread.clock
         self.reclaim_runs += 1
+        with TRACER.span("reclaim", clock):
+            self._reclaim_batch(thread)
+
+    def _reclaim_batch(self, thread: SimThread) -> None:
+        clock = thread.clock
         victims = [
             page
             for page in self.cache.pick_victims(RECLAIM_BATCH_PAGES * 2)
@@ -290,16 +299,17 @@ class LinuxMmapEngine(MmioEngine):
         limit = int(self.cache.capacity_pages * self.dirty_ratio)
         if self.cache.dirty_pages() <= limit:
             return
-        dirty = sorted(
-            (
-                page
-                for page in self._all_pages()
-                if page.dirty and page.key != exclude_key
-            ),
-            key=lambda page: page.device_offset,
-        )[: constants.LINUX_WRITEBACK_BATCH_PAGES]
-        self._write_back_pages(thread, dirty, sync=False, category="writeback.bg")
-        self._mark_clean_and_protect(thread, dirty)
+        with TRACER.span("writeback.bg", thread.clock):
+            dirty = sorted(
+                (
+                    page
+                    for page in self._all_pages()
+                    if page.dirty and page.key != exclude_key
+                ),
+                key=lambda page: page.device_offset,
+            )[: constants.LINUX_WRITEBACK_BATCH_PAGES]
+            self._write_back_pages(thread, dirty, sync=False, category="writeback.bg")
+            self._mark_clean_and_protect(thread, dirty)
 
     def _mark_clean_and_protect(self, thread: SimThread, pages) -> None:
         """Clean written-back pages and write-protect their PTEs.
@@ -324,20 +334,23 @@ class LinuxMmapEngine(MmioEngine):
 
     def msync(self, thread: SimThread, mapping: Mapping) -> int:
         """Synchronously flush the mapping's dirty pages."""
-        self.vmx.syscall(thread.clock, "syscall.msync")
-        file = mapping.vma.file
-        first = mapping.vma.file_start_page
-        last = first + mapping.vma.num_pages
-        dirty = sorted(
-            (
-                page
-                for page in self._all_pages()
-                if page.dirty
-                and page.file.file_id == file.file_id
-                and first <= page.file_page < last
-            ),
-            key=lambda page: page.device_offset,
-        )
-        written = self._write_back_pages(thread, dirty, sync=True, category="writeback.msync")
-        self._mark_clean_and_protect(thread, dirty)
-        return written
+        with TRACER.span("msync", thread.clock):
+            self.vmx.syscall(thread.clock, "syscall.msync")
+            file = mapping.vma.file
+            first = mapping.vma.file_start_page
+            last = first + mapping.vma.num_pages
+            dirty = sorted(
+                (
+                    page
+                    for page in self._all_pages()
+                    if page.dirty
+                    and page.file.file_id == file.file_id
+                    and first <= page.file_page < last
+                ),
+                key=lambda page: page.device_offset,
+            )
+            written = self._write_back_pages(
+                thread, dirty, sync=True, category="writeback.msync"
+            )
+            self._mark_clean_and_protect(thread, dirty)
+            return written

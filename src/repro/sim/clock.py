@@ -87,6 +87,14 @@ class CycleClock:
         #: physical core with another running hyperthread (SMT).  Waits
         #: are unaffected.
         self.cpi_factor = 1.0
+        #: Display name for trace export (set by the owning SimThread).
+        self.owner_name = ""
+        # repro.obs tracing state, managed by the global Tracer: the
+        # innermost open span on this clock (charges attribute to it) and
+        # the tracer-local (epoch, track-id) pair.  Kept as plain
+        # attributes so the disabled-tracing cost is one None check.
+        self._obs_span = None
+        self._obs_track = None
 
     def charge(self, category: str, cycles: float) -> None:
         """Advance the clock by ``cycles`` of active work (scaled by SMT)."""
@@ -95,6 +103,9 @@ class CycleClock:
         scaled = cycles * self.cpi_factor
         self.now += scaled
         self.breakdown.add(category, scaled)
+        span = self._obs_span
+        if span is not None:
+            span.charge(category, scaled)
 
     def wait_until(self, time: float, category: str) -> float:
         """Block until ``time`` if it is in the future; return cycles waited."""
@@ -103,6 +114,9 @@ class CycleClock:
             return 0.0
         self.now = time
         self.breakdown.add(category, waited)
+        span = self._obs_span
+        if span is not None:
+            span.charge(category, waited)
         return waited
 
     @property

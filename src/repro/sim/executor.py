@@ -37,6 +37,7 @@ class SimThread:
         self.core = core
         self.name = name or f"thread-{self.tid}"
         self.clock = CycleClock()
+        self.clock.owner_name = self.name
         self.latencies = LatencyRecorder()
         self.ops_completed = 0
 

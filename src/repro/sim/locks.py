@@ -27,6 +27,30 @@ from repro.common.errors import SimulationError
 from repro.sim.clock import CycleClock
 
 
+class LockStats:
+    """Process-wide lock-contention totals across every lock timeline.
+
+    ``repro.obs`` binds these as pull metrics (``locks.acquisitions``,
+    ``locks.contended``, ``locks.wait_cycles``); per-lock numbers stay on
+    the individual timelines.
+    """
+
+    def __init__(self) -> None:
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_cycles = 0.0
+
+    def reset(self) -> None:
+        """Zero all aggregate totals."""
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_cycles = 0.0
+
+
+#: Aggregate contention stats over every lock in the process.
+LOCK_STATS = LockStats()
+
+
 class SpinlockTimeline:
     """An exclusive lock as a timeline of busy intervals.
 
@@ -65,10 +89,13 @@ class SpinlockTimeline:
                 f"thread {holder_id} re-acquired non-reentrant lock {self.name}"
             )
         self.acquisitions += 1
+        LOCK_STATS.acquisitions += 1
         waited = clock.wait_until(self._free_at, wait_category)
         if waited > 0:
             self.contended_acquisitions += 1
             self.total_wait_cycles += waited
+            LOCK_STATS.contended += 1
+            LOCK_STATS.wait_cycles += waited
             clock.charge("lock.transfer", constants.LOCK_TRANSFER_CYCLES)
         self._holder = holder_id
         # Reserve the lock until release; a pessimistic placeholder far in
@@ -83,6 +110,7 @@ class SpinlockTimeline:
         multi-lock operation from convoying everyone else.
         """
         self.acquisitions += 1
+        LOCK_STATS.acquisitions += 1
         if clock.now < self._free_at:
             return False
         self._holder = holder_id
@@ -132,10 +160,14 @@ class RWLockTimeline:
     def acquire_read(self, clock: CycleClock, wait_category: str = "idle.lock") -> None:
         """Take the lock in shared mode."""
         self.read_acquisitions += 1
+        LOCK_STATS.acquisitions += 1
         before = clock.now
         self._word.atomic_op(clock, reserve=self.READER_WORD_RESERVE_CYCLES)
-        clock.wait_until(self._writer_done_at, wait_category)
+        blocked = clock.wait_until(self._writer_done_at, wait_category)
         self.total_wait_cycles += clock.now - before
+        if blocked > 0:
+            LOCK_STATS.contended += 1
+            LOCK_STATS.wait_cycles += blocked
 
     def release_read(self, clock: CycleClock) -> None:
         """Drop a shared hold at the caller's current time."""
@@ -145,11 +177,15 @@ class RWLockTimeline:
     def acquire_write(self, clock: CycleClock, wait_category: str = "idle.lock") -> None:
         """Take the lock exclusively, draining readers and writers."""
         self.write_acquisitions += 1
+        LOCK_STATS.acquisitions += 1
         before = clock.now
         self._word.atomic_op(clock)
         barrier = max(self._writer_done_at, self._readers_done_at)
-        clock.wait_until(barrier, wait_category)
+        blocked = clock.wait_until(barrier, wait_category)
         self.total_wait_cycles += clock.now - before
+        if blocked > 0:
+            LOCK_STATS.contended += 1
+            LOCK_STATS.wait_cycles += blocked
 
     def release_write(self, clock: CycleClock) -> None:
         """Drop the exclusive hold at the caller's current time."""

@@ -43,7 +43,14 @@ class ZipfGenerator:
         self._alpha = 1.0 / (1.0 - theta)
         self._zetan = self._zeta(n, theta)
         self._zeta2 = self._zeta(2, theta)
-        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan)
+        # For n <= 2, zeta(n) == zeta(2) and the denominator vanishes; eta
+        # is never used there (next() resolves ranks 0/1 before the eta
+        # branch), so any finite value works.
+        denom = 1.0 - self._zeta2 / self._zetan
+        if denom == 0.0:
+            self._eta = 0.0
+        else:
+            self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / denom
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:

@@ -8,37 +8,47 @@ raw per-operation latencies (cycle counts) and computes those summaries.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence
 
 from repro.common import units
 
 
 class LatencyRecorder:
-    """Accumulates per-operation latencies in cycles."""
+    """Accumulates per-operation latencies in cycles.
+
+    Samples are kept in recording order; percentile queries sort into a
+    separate cached view, so order-dependent summaries (``tail_mean``) and
+    rank-dependent ones (``percentile``) compose in either order.
+    """
 
     def __init__(self) -> None:
         self._samples: List[float] = []
-        self._sorted = True
+        self._sorted_cache: Optional[List[float]] = None
 
     def record(self, cycles: float) -> None:
         """Record one operation latency."""
         self._samples.append(cycles)
-        self._sorted = False
+        self._sorted_cache = None
 
     def extend(self, cycles_list: Sequence[float]) -> None:
         """Record many operation latencies."""
         self._samples.extend(cycles_list)
-        self._sorted = False
+        self._sorted_cache = None
 
     def merge(self, other: "LatencyRecorder") -> None:
         """Fold another recorder's samples into this one."""
         self._samples.extend(other._samples)
-        self._sorted = False
+        self._sorted_cache = None
 
-    def _ensure_sorted(self) -> None:
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
+    def samples(self) -> List[float]:
+        """A copy of the raw samples, in recording order."""
+        return list(self._samples)
+
+    def _sorted(self) -> List[float]:
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._samples)
+        return self._sorted_cache
 
     @property
     def count(self) -> int:
@@ -59,13 +69,11 @@ class LatencyRecorder:
     def tail_mean(self, fraction: float = 0.5) -> float:
         """Mean of the last ``fraction`` of samples *in recording order*.
 
-        Used to skip warmup (cache-fill) samples.  Only meaningful before
-        any percentile call (percentiles sort the sample buffer).
+        Used to skip warmup (cache-fill) samples.  Recording order is
+        preserved regardless of earlier percentile calls.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        if self._sorted and len(self._samples) > 1:
-            raise ValueError("samples already sorted; recording order lost")
         if not self._samples:
             return 0.0
         start = int(len(self._samples) * (1.0 - fraction))
@@ -78,9 +86,9 @@ class LatencyRecorder:
             return 0.0
         if not 0.0 < pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
-        self._ensure_sorted()
-        rank = max(1, math.ceil(pct / 100.0 * len(self._samples)))
-        return self._samples[rank - 1]
+        ordered = self._sorted()
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
     def p50(self) -> float:
         """Median latency in cycles."""
@@ -98,8 +106,29 @@ class LatencyRecorder:
         """Maximum recorded latency in cycles."""
         if not self._samples:
             return 0.0
-        self._ensure_sorted()
-        return self._samples[-1]
+        return self._sorted()[-1]
+
+    def histogram(self, buckets: Sequence[float]) -> List[int]:
+        """Per-bucket sample counts for ascending upper bounds ``buckets``.
+
+        Returns ``len(buckets) + 1`` counts; the last slot holds samples
+        above every bound.  Matches the bucket semantics of
+        ``repro.obs.metrics.Histogram``.
+        """
+        bounds = [float(b) for b in buckets]
+        if not bounds or sorted(bounds) != bounds:
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        counts = [0] * (len(bounds) + 1)
+        ordered = self._sorted()
+        prev = 0
+        # Each bucket holds samples <= its bound (first bound >= value,
+        # mirroring Histogram.observe), hence bisect_right edges.
+        for i, bound in enumerate(bounds):
+            edge = bisect_right(ordered, bound)
+            counts[i] = edge - prev
+            prev = edge
+        counts[-1] = len(ordered) - prev
+        return counts
 
     def mean_us(self) -> float:
         """Average latency in microseconds."""

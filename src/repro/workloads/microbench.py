@@ -26,6 +26,7 @@ from typing import Iterator, List, Optional
 from repro.common import units
 from repro.mmio.engine import Mapping
 from repro.mmio.vma import MADV_RANDOM
+from repro.obs import TRACER
 from repro.sim.executor import Executor, RunResult, SimThread
 from repro.sim.rand import derive_seed
 
@@ -67,10 +68,11 @@ def access_workload(
     for page in sequence:
         start = thread.clock.now
         offset = page * units.PAGE_SIZE + rng.randrange(units.PAGE_SIZE - 8)
-        if rng.random() < write_fraction:
-            mapping.store(thread, offset, b"\xA5" * 8)
-        else:
-            mapping.load(thread, offset, 8)
+        with TRACER.span("op.access", thread.clock):
+            if rng.random() < write_fraction:
+                mapping.store(thread, offset, b"\xA5" * 8)
+            else:
+                mapping.load(thread, offset, 8)
         thread.record_op(start)
         yield
 

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.obs import TRACER
 from repro.sim.executor import SimThread
 from repro.sim.rand import LatestGenerator, ScrambledZipfGenerator, derive_seed
 
@@ -173,30 +174,37 @@ class YCSBDriver:
                 if r < cumulative:
                     action = name
                     break
-            if action == "read":
-                value = self.store.get(thread, make_key(choose()))
-                self.stats.reads += 1
-                if value is None:
-                    self.stats.not_found += 1
-            elif action == "update":
-                index = choose()
-                self.store.put(thread, make_key(index), make_value(index, cfg.value_bytes))
-                self.stats.updates += 1
-            elif action == "insert":
-                index = self._next_insert_index()
-                self.store.put(thread, make_key(index), make_value(index, cfg.value_bytes))
-                self.stats.inserts += 1
-            elif action == "scan":
-                length = scan_rng.randint(1, MAX_SCAN_LENGTH)
-                items = self.store.scan(thread, make_key(choose()), length)
-                self.stats.scans += 1
-                self.stats.scan_items += len(items)
-            elif action == "rmw":
-                index = choose()
-                value = self.store.get(thread, make_key(index))
-                if value is None:
-                    self.stats.not_found += 1
-                self.store.put(thread, make_key(index), make_value(index, cfg.value_bytes))
-                self.stats.rmws += 1
+            with TRACER.span("op." + action, thread.clock):
+                if action == "read":
+                    value = self.store.get(thread, make_key(choose()))
+                    self.stats.reads += 1
+                    if value is None:
+                        self.stats.not_found += 1
+                elif action == "update":
+                    index = choose()
+                    self.store.put(
+                        thread, make_key(index), make_value(index, cfg.value_bytes)
+                    )
+                    self.stats.updates += 1
+                elif action == "insert":
+                    index = self._next_insert_index()
+                    self.store.put(
+                        thread, make_key(index), make_value(index, cfg.value_bytes)
+                    )
+                    self.stats.inserts += 1
+                elif action == "scan":
+                    length = scan_rng.randint(1, MAX_SCAN_LENGTH)
+                    items = self.store.scan(thread, make_key(choose()), length)
+                    self.stats.scans += 1
+                    self.stats.scan_items += len(items)
+                elif action == "rmw":
+                    index = choose()
+                    value = self.store.get(thread, make_key(index))
+                    if value is None:
+                        self.stats.not_found += 1
+                    self.store.put(
+                        thread, make_key(index), make_value(index, cfg.value_bytes)
+                    )
+                    self.stats.rmws += 1
             thread.record_op(start)
             yield

@@ -1,0 +1,205 @@
+"""Tracer: span nesting, cycle attribution, ring bound, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.common import units
+from repro.obs import TRACER, Tracer, enable_tracing
+from repro.sim.clock import CycleClock
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(capacity=64)
+    t.enable()
+    return t
+
+
+@pytest.fixture(autouse=True)
+def _global_tracer_off():
+    """Tests here must not leak state into the process-wide TRACER."""
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+class TestSpanNesting:
+    def test_self_cycles_exclude_children(self, tracer):
+        clock = CycleClock()
+        with tracer.span("outer", clock):
+            clock.charge("a", 100)
+            with tracer.span("inner"):   # clock inherited from enclosing span
+                clock.charge("b", 50)
+            clock.charge("a", 25)
+        outer, inner = None, None
+        for span in tracer.finished_spans():
+            if span.name == "outer":
+                outer = span
+            elif span.name == "inner":
+                inner = span
+        assert inner.duration == 50
+        assert inner.self_cycles == 50
+        assert outer.duration == 175
+        assert outer.self_cycles == 125
+        assert outer.depth == 0 and inner.depth == 1
+
+    def test_charges_route_to_innermost_span(self, tracer):
+        clock = CycleClock()
+        with tracer.span("outer", clock):
+            clock.charge("x", 10)
+            with tracer.span("inner", clock):
+                clock.charge("x", 7)
+                clock.charge("y", 3)
+        spans = {s.name: s for s in tracer.finished_spans()}
+        assert spans["inner"].charges == {"x": 7, "y": 3}
+        assert spans["outer"].charges == {"x": 10}
+
+    def test_wait_until_charges_span(self, tracer):
+        clock = CycleClock()
+        with tracer.span("s", clock):
+            clock.wait_until(clock.now + 40, "idle.io")
+        (span,) = tracer.finished_spans()
+        assert span.charges == {"idle.io": 40}
+        assert span.duration == 40
+
+    def test_cpi_scaling_reaches_span(self, tracer):
+        clock = CycleClock()
+        clock.cpi_factor = 2.0
+        with tracer.span("s", clock):
+            clock.charge("work", 10)
+        (span,) = tracer.finished_spans()
+        assert span.charges == {"work": 20}
+        assert span.duration == 20
+
+    def test_no_clock_and_no_enclosing_span_raises(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.span("orphan")
+
+    def test_spans_on_two_clocks_get_two_tracks(self, tracer):
+        a, b = CycleClock(), CycleClock()
+        a.owner_name = "alpha"
+        with tracer.span("sa", a):
+            a.charge("w", 1)
+        with tracer.span("sb", b):
+            b.charge("w", 1)
+        sa, sb = tracer.finished_spans()
+        assert sa.track != sb.track
+        names = tracer.track_names()
+        assert names[sa.track] == "alpha"
+        assert names[sb.track].startswith("clock-")
+
+
+class TestRingBuffer:
+    def test_oldest_spans_dropped(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        clock = CycleClock()
+        for i in range(10):
+            with tracer.span(f"s{i}", clock):
+                clock.charge("w", 1)
+        assert tracer.dropped == 6
+        assert tracer.total_finished == 10
+        assert [s.name for s in tracer.finished_spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_mark_windows_spans(self, tracer):
+        clock = CycleClock()
+        with tracer.span("before", clock):
+            clock.charge("w", 1)
+        mark = tracer.mark()
+        with tracer.span("after", clock):
+            clock.charge("w", 1)
+        assert [s.name for s in tracer.finished_since(mark)] == ["after"]
+
+    def test_reset_clears_and_bumps_epoch(self, tracer):
+        clock = CycleClock()
+        with tracer.span("s", clock):
+            clock.charge("w", 1)
+        epoch = tracer.epoch
+        tracer.reset(capacity=8)
+        assert tracer.epoch == epoch + 1
+        assert tracer.capacity == 8
+        assert tracer.finished_spans() == []
+        assert tracer.total_finished == 0
+        # The clock's cached track id is stale now; a new span re-registers.
+        with tracer.span("s2", clock):
+            clock.charge("w", 1)
+        assert tracer.track_names() == ["clock-0"]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer().reset(capacity=-1)
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        before = tracer.noop_requests
+        first = tracer.span("a", CycleClock())
+        second = tracer.span("b")   # no clock needed while disabled
+        assert first is second
+        assert tracer.noop_requests == before + 2
+        with first:
+            pass
+        assert tracer.finished_spans() == []
+
+    def test_charges_not_recorded_while_disabled(self):
+        tracer = Tracer()
+        clock = CycleClock()
+        with tracer.span("s", clock):
+            clock.charge("w", 5)
+        assert tracer.total_finished == 0
+        assert clock.breakdown.total() == 5   # the clock itself still charges
+
+
+class TestChromeExport:
+    def test_schema_round_trip(self, tracer, tmp_path):
+        clock = CycleClock()
+        clock.owner_name = "worker-0"
+        with tracer.span("fault", clock):
+            clock.charge("fault.vma_lookup", 120)
+            with tracer.span("fault.io"):
+                clock.charge("idle.io", 2400)
+        path = tmp_path / "trace.json"
+        events = tracer.write_chrome_trace(str(path))
+        trace = json.loads(path.read_text())
+        assert len(trace["traceEvents"]) == events == 3   # 1 metadata + 2 spans
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "worker-0"
+        by_name = {e["name"]: e for e in complete}
+        fault, io = by_name["fault"], by_name["fault.io"]
+        # ts/dur are simulated microseconds at the simulated frequency.
+        assert io["dur"] == pytest.approx(units.cycles_to_us(2400), abs=1e-6)
+        assert io["ts"] == pytest.approx(units.cycles_to_us(120), abs=1e-6)
+        assert fault["args"]["cycles"] == 2520
+        assert fault["args"]["self_cycles"] == 120
+        assert fault["args"]["charges"] == {"fault.vma_lookup": 120}
+        assert io["args"]["charges"] == {"idle.io": 2400}
+        assert trace["otherData"]["dropped_spans"] == 0
+
+    def test_determinism_identical_runs_identical_traces(self):
+        """Two identical traced runs serialize to byte-identical JSON."""
+
+        def traced_run() -> str:
+            from repro.bench.setups import make_aquila_stack
+            from repro.mmio.vma import MADV_RANDOM
+            from repro.sim.executor import SimThread
+
+            tracer = enable_tracing(capacity=1 << 12)
+            stack = make_aquila_stack("pmem", cache_pages=128)
+            file = stack.allocator.create("det-data", 64 * units.PAGE_SIZE)
+            thread = SimThread(core=0, name="det-thread")
+            mapping = stack.engine.mmap(thread, file)
+            mapping.madvise(thread, MADV_RANDOM)
+            for page in range(48):
+                with tracer.span("op.access", thread.clock):
+                    mapping.load(thread, page * units.PAGE_SIZE, 8)
+            blob = json.dumps(tracer.to_chrome_trace(), sort_keys=True)
+            tracer.disable()
+            tracer.reset()
+            return blob
+
+        assert traced_run() == traced_run()

@@ -46,12 +46,24 @@ class TestLatencyRecorder:
         assert recorder.tail_mean(0.5) == pytest.approx(10)
         assert recorder.mean() == pytest.approx(505)
 
-    def test_tail_mean_after_sort_rejected(self):
+    def test_tail_mean_composes_with_percentiles(self):
         recorder = LatencyRecorder()
         recorder.extend([3, 1, 2])
-        recorder.p50()   # sorts
+        recorder.p50()   # sorts a separate view; recording order survives
+        assert recorder.tail_mean(0.5) == pytest.approx(1.5)   # last two: [1, 2]
+        # And the other order too: percentiles after tail_mean still work.
+        assert recorder.p50() == 2
+        assert recorder.samples() == [3, 1, 2]
+
+    def test_histogram_buckets(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1, 2, 2, 5, 100])
+        # bucket semantics: first bound >= value (inclusive upper bounds)
+        assert recorder.histogram([2, 10]) == [3, 1, 1]
         with pytest.raises(ValueError):
-            recorder.tail_mean(0.5)
+            recorder.histogram([])
+        with pytest.raises(ValueError):
+            recorder.histogram([10, 2])
 
     @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1))
     def test_percentiles_monotone(self, samples):
