@@ -133,6 +133,48 @@ def _run_fig10(args) -> None:
         table.show()
 
 
+def parse_fault_spec(spec: str):
+    """Parse a ``--faults`` SPEC string into ``(seed, FaultSpec)``.
+
+    Keys: ``seed`` (plan seed, default 42), ``error``/``latency``/``torn``
+    (rates), ``spike`` (latency spike cycles), ``max`` (per-device cap).
+    """
+    from repro.fault.plan import DEFAULT_LATENCY_SPIKE_CYCLES, FaultSpec
+
+    seed = 42
+    kwargs = {
+        "error_rate": 0.0,
+        "latency_rate": 0.0,
+        "torn_rate": 0.0,
+        "latency_spike_cycles": DEFAULT_LATENCY_SPIKE_CYCLES,
+        "max_faults_per_device": None,
+    }
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"--faults item {item!r} is not key=value")
+        key, _, value = item.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "seed":
+            seed = int(value)
+        elif key == "error":
+            kwargs["error_rate"] = float(value)
+        elif key == "latency":
+            kwargs["latency_rate"] = float(value)
+        elif key == "torn":
+            kwargs["torn_rate"] = float(value)
+        elif key == "spike":
+            kwargs["latency_spike_cycles"] = float(value)
+        elif key == "max":
+            kwargs["max_faults_per_device"] = int(value)
+        else:
+            raise ValueError(f"unknown --faults key {key!r}")
+    return seed, FaultSpec(**kwargs)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig5a": _run_fig5,
     "fig5b": _run_fig5,
@@ -180,6 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a cycle trace and write Chrome trace-event JSON to PATH",
     )
     parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject deterministic device faults, e.g. "
+            "'seed=42,error=0.01,latency=0.02,torn=0.005,spike=240000,max=100'"
+        ),
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect counters/gauges/histograms and print a metrics table",
@@ -210,7 +261,34 @@ def main(argv: List[str] = None) -> int:
         if args.metrics:
             # Must precede stack construction: components bind at __init__.
             obs.enable_metrics()
-    EXPERIMENTS[args.experiment](args)
+    fault_plan = None
+    if args.faults:
+        from repro.fault.plan import FaultPlan, install_plan
+
+        try:
+            seed, spec = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Must precede stack construction: devices attach injectors at
+        # __init__ from the installed plan.
+        fault_plan = FaultPlan(seed, spec)
+        install_plan(fault_plan)
+    try:
+        EXPERIMENTS[args.experiment](args)
+    finally:
+        if fault_plan is not None:
+            from repro.fault.plan import clear_plan
+
+            clear_plan()
+    if fault_plan is not None:
+        print(f"faults: {fault_plan.total_faults()} injected (seed {fault_plan.seed})")
+        for device, counts in sorted(fault_plan.summary().items()):
+            print(
+                f"  {device}: {counts['ops_seen']} ops seen, "
+                f"{counts['errors']} errors, {counts['latency']} latency spikes, "
+                f"{counts['torn']} torn writes"
+            )
     if args.trace:
         from repro import obs
 

@@ -16,9 +16,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.common import units
-from repro.common.errors import BlobNotFoundError, OutOfSpaceError
+from repro.common.errors import BlobNotFoundError, OutOfSpaceError, TransientDeviceError
 from repro.devices.block import BlockDevice
 from repro.devices.io_engines import IOPath, SpdkIO
+from repro.fault.plan import FAULT_LATENCY, FAULT_NONE, active_plan
+from repro.fault.retry import RetryPolicy, with_retries
 from repro.sim.clock import CycleClock
 
 #: SPDK's default cluster size.
@@ -42,13 +44,42 @@ class Blob:
 class Blobstore:
     """Cluster-granularity blob allocator over one block device."""
 
-    def __init__(self, device: BlockDevice, io_path: Optional[IOPath] = None) -> None:
+    def __init__(
+        self,
+        device: BlockDevice,
+        io_path: Optional[IOPath] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.device = device
         self.io_path = io_path if io_path is not None else SpdkIO(device)
         self._blobs: Dict[int, Blob] = {}
         self._next_id = 1
         total_clusters = device.store.capacity_bytes // CLUSTER_SIZE
         self._free_clusters: List[int] = list(range(total_clusters - 1, -1, -1))
+        # Blobstore metadata (cluster maps, md pages) has its own fault
+        # stream, separate from the data-path faults of the device below.
+        plan = active_plan()
+        self.faults = (
+            plan.injector_for(f"blobstore.{device.name}") if plan is not None else None
+        )
+        self.retry_policy = retry_policy
+
+    def _metadata_fault(self, clock: CycleClock, is_write: bool, nbytes: int) -> None:
+        """Consult the fault plan for the translation/metadata step."""
+        if self.faults is None:
+            return
+        decision = self.faults.decide(clock.now, is_write, nbytes)
+        if decision.kind == FAULT_NONE:
+            return
+        if decision.kind == FAULT_LATENCY:
+            clock.wait_until(
+                clock.now + decision.extra_latency_cycles, "idle.fault.latency"
+            )
+            return
+        verb = "write" if is_write else "read"
+        raise TransientDeviceError(
+            f"blobstore.{self.device.name}: transient metadata failure on {verb}"
+        )
 
     # -- namespace management ---------------------------------------------
 
@@ -124,7 +155,12 @@ class Blobstore:
             in_cluster = pos % CLUSTER_SIZE
             take = min(remaining, CLUSTER_SIZE - in_cluster)
             dev_offset = self.device_offset(blob_id, pos)
-            chunks.append(self.io_path.read(clock, dev_offset, take, category))
+
+            def attempt(dev_offset=dev_offset, take=take):
+                self._metadata_fault(clock, False, take)
+                return self.io_path.read(clock, dev_offset, take, category)
+
+            chunks.append(with_retries(clock, attempt, category, self.retry_policy))
             pos += take
             remaining -= take
         return b"".join(chunks)
@@ -141,7 +177,13 @@ class Blobstore:
             in_cluster = pos % CLUSTER_SIZE
             take = min(len(data) - written, CLUSTER_SIZE - in_cluster)
             dev_offset = self.device_offset(blob_id, pos)
-            self.io_path.write(clock, dev_offset, data[written : written + take], category)
+            chunk = data[written : written + take]
+
+            def attempt(dev_offset=dev_offset, chunk=chunk):
+                self._metadata_fault(clock, True, len(chunk))
+                self.io_path.write(clock, dev_offset, chunk, category)
+
+            with_retries(clock, attempt, category, self.retry_policy)
             pos += take
             written += take
 

@@ -16,7 +16,15 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.common import units
-from repro.common.errors import OutOfSpaceError
+from repro.common.errors import OutOfSpaceError, TornWriteError, TransientDeviceError
+from repro.fault.plan import (
+    FAULT_ERROR,
+    FAULT_LATENCY,
+    FAULT_NONE,
+    FAULT_TORN,
+    DeviceFaultInjector,
+    active_plan,
+)
 from repro.obs import METRICS
 from repro.sim.clock import CycleClock
 
@@ -183,6 +191,10 @@ class BandwidthTimeline:
 class BlockDevice:
     """A block device with real contents and a calibrated timing model."""
 
+    #: Device-specific multiplier on injected latency spikes (an NVMe
+    #: internal-GC stall is much longer than a DRAM-media hiccup).
+    fault_latency_scale = 1.0
+
     def __init__(
         self,
         name: str,
@@ -212,6 +224,10 @@ class BlockDevice:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.faults: Optional[DeviceFaultInjector] = None
+        plan = active_plan()
+        if plan is not None:
+            self.attach_faults(plan.injector_for(self.name))
         METRICS.bind_object(
             f"device.{self.name}",
             self,
@@ -230,6 +246,52 @@ class BlockDevice:
         if iops_cap is None:
             return DeviceTimeline(0.0)
         return DeviceTimeline(units.CPU_FREQ_HZ / iops_cap)
+
+    # -- fault injection ----------------------------------------------------
+
+    def attach_faults(self, injector: DeviceFaultInjector) -> None:
+        """Make every command consult ``injector`` (see :mod:`repro.fault`)."""
+        self.faults = injector
+        METRICS.bind_object(
+            f"device.{self.name}.faults",
+            injector,
+            {
+                "errors": "errors_injected",
+                "latency": "latency_injected",
+                "torn": "torn_injected",
+            },
+        )
+
+    def _apply_fault(
+        self,
+        decision,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+        data: Optional[bytes],
+    ) -> float:
+        """Apply a fault decision; returns extra completion latency.
+
+        Errors and torn writes raise (after landing the torn prefix on
+        the media); latency spikes return the extra service cycles.
+        """
+        if decision.kind == FAULT_LATENCY:
+            return decision.extra_latency_cycles * self.fault_latency_scale
+        if decision.kind == FAULT_TORN and is_write:
+            torn_bytes = int(nbytes * decision.torn_fraction)
+            if torn_bytes and data is not None:
+                self.store.write(offset, data[:torn_bytes])
+                self.bytes_written += torn_bytes
+            raise TornWriteError(
+                f"{self.name}: write at {offset} torn after {torn_bytes}/{nbytes} bytes",
+                written_bytes=torn_bytes,
+            )
+        if decision.kind in (FAULT_ERROR, FAULT_TORN):
+            verb = "write" if is_write else "read"
+            raise TransientDeviceError(
+                f"{self.name}: transient {verb} failure at offset {offset}"
+            )
+        raise ValueError(f"unknown fault kind {decision.kind!r}")
 
     def service_cycles(self, nbytes: int, is_write: bool) -> float:
         """Raw service time of one command, excluding queueing."""
@@ -257,6 +319,18 @@ class BlockDevice:
         completion = start + self.service_cycles(nbytes, is_write)
         if self.media is not None:
             completion = max(completion, self.media.admit(start, nbytes))
+        if self.faults is not None:
+            decision = self.faults.decide(clock.now, is_write, nbytes)
+            if decision.kind != FAULT_NONE:
+                if decision.kind == FAULT_LATENCY:
+                    completion += self._apply_fault(
+                        decision, offset, nbytes, is_write, data
+                    )
+                else:
+                    # A failed command still occupies the device for its
+                    # service time before reporting the error.
+                    clock.wait_until(completion, wait_category)
+                    self._apply_fault(decision, offset, nbytes, is_write, data)
         clock.wait_until(completion, wait_category)
 
         if is_write:
@@ -289,6 +363,18 @@ class BlockDevice:
         completion = start + self.service_cycles(nbytes, is_write)
         if self.media is not None:
             completion = max(completion, self.media.admit(start, nbytes))
+        if self.faults is not None:
+            decision = self.faults.decide(clock.now, is_write, nbytes)
+            if decision.kind != FAULT_NONE:
+                if decision.kind == FAULT_LATENCY:
+                    completion += self._apply_fault(
+                        decision, offset, nbytes, is_write, data
+                    )
+                else:
+                    # Asynchronous submission failure: the caller learns
+                    # immediately (submission-queue error), nothing landed
+                    # beyond a torn prefix.
+                    self._apply_fault(decision, offset, nbytes, is_write, data)
         if is_write:
             if data is None or len(data) != nbytes:
                 raise ValueError("write needs data of the stated size")

@@ -27,15 +27,25 @@ from typing import Optional
 from repro.common import constants
 from repro.devices.block import BlockDevice
 from repro.devices.pmem import PmemDevice
+from repro.fault.retry import RetryPolicy, with_retries
 from repro.hw.fpu import FPUContext
 from repro.hw.vmx import VMXCostModel
 from repro.sim.clock import CycleClock
 
 
 class IOPath:
-    """Abstract device access path."""
+    """Abstract device access path.
+
+    All paths share the transient-fault policy of :mod:`repro.fault`:
+    a command failing with a retryable error is reissued with backoff
+    (cycles charged to the caller) before escalating — degraded runs
+    stay cycle-accounted instead of dying on the first hiccup.
+    """
 
     name = "abstract"
+
+    #: Retry policy for transient device faults (None = stack default).
+    retry_policy: Optional[RetryPolicy] = None
 
     def read(
         self, clock: CycleClock, offset: int, nbytes: int, category: str = "io"
@@ -71,21 +81,31 @@ class KernelFaultIO(IOPath):
             clock.charge(category + ".irq", constants.HOST_NVME_COMPLETION_CYCLES)
 
     def read(self, clock: CycleClock, offset: int, nbytes: int, category: str = "io") -> bytes:
-        data = self.device.submit(
-            clock, offset, nbytes, is_write=False,
-            wait_category="idle." + category + ".device",
+        data = with_retries(
+            clock,
+            lambda: self.device.submit(
+                clock, offset, nbytes, is_write=False,
+                wait_category="idle." + category + ".device",
+            ),
+            category,
+            self.retry_policy,
         )
         self._completion_overhead(clock, category)
         return data
 
     def write(self, clock: CycleClock, offset: int, data: bytes, category: str = "io") -> None:
-        self.device.submit(
+        with_retries(
             clock,
-            offset,
-            len(data),
-            is_write=True,
-            data=data,
-            wait_category="idle." + category + ".device",
+            lambda: self.device.submit(
+                clock,
+                offset,
+                len(data),
+                is_write=True,
+                data=data,
+                wait_category="idle." + category + ".device",
+            ),
+            category,
+            self.retry_policy,
         )
         self._completion_overhead(clock, category)
 
@@ -119,22 +139,33 @@ class HostSyscallIO(IOPath):
 
     def read(self, clock: CycleClock, offset: int, nbytes: int, category: str = "io") -> bytes:
         self._syscall_overhead(clock, category)
-        data = self.device.submit(
-            clock, offset, nbytes, is_write=False,
-            wait_category="idle." + category + ".device",
+        # Retries happen inside the kernel block layer: no extra syscall.
+        data = with_retries(
+            clock,
+            lambda: self.device.submit(
+                clock, offset, nbytes, is_write=False,
+                wait_category="idle." + category + ".device",
+            ),
+            category,
+            self.retry_policy,
         )
         self._completion_overhead(clock, category)
         return data
 
     def write(self, clock: CycleClock, offset: int, data: bytes, category: str = "io") -> None:
         self._syscall_overhead(clock, category)
-        self.device.submit(
+        with_retries(
             clock,
-            offset,
-            len(data),
-            is_write=True,
-            data=data,
-            wait_category="idle." + category + ".device",
+            lambda: self.device.submit(
+                clock,
+                offset,
+                len(data),
+                is_write=True,
+                data=data,
+                wait_category="idle." + category + ".device",
+            ),
+            category,
+            self.retry_policy,
         )
         self._completion_overhead(clock, category)
 
@@ -153,23 +184,31 @@ class SpdkIO(IOPath):
         self.device = device
 
     def read(self, clock: CycleClock, offset: int, nbytes: int, category: str = "io") -> bytes:
-        clock.charge(category + ".submit", constants.SPDK_SUBMIT_CYCLES)
-        data = self.device.submit(
-            clock, offset, nbytes, is_write=False, wait_category=category + ".poll"
-        )
+        # A user-space resubmission pays the doorbell again, so the whole
+        # submit/poll sequence sits inside the retry loop.
+        def attempt() -> bytes:
+            clock.charge(category + ".submit", constants.SPDK_SUBMIT_CYCLES)
+            return self.device.submit(
+                clock, offset, nbytes, is_write=False, wait_category=category + ".poll"
+            )
+
+        data = with_retries(clock, attempt, category, self.retry_policy)
         clock.charge(category + ".complete", constants.SPDK_COMPLETION_CYCLES)
         return data
 
     def write(self, clock: CycleClock, offset: int, data: bytes, category: str = "io") -> None:
-        clock.charge(category + ".submit", constants.SPDK_SUBMIT_CYCLES)
-        self.device.submit(
-            clock,
-            offset,
-            len(data),
-            is_write=True,
-            data=data,
-            wait_category=category + ".poll",
-        )
+        def attempt() -> None:
+            clock.charge(category + ".submit", constants.SPDK_SUBMIT_CYCLES)
+            self.device.submit(
+                clock,
+                offset,
+                len(data),
+                is_write=True,
+                data=data,
+                wait_category=category + ".poll",
+            )
+
+        with_retries(clock, attempt, category, self.retry_policy)
         clock.charge(category + ".complete", constants.SPDK_COMPLETION_CYCLES)
 
 
@@ -189,7 +228,17 @@ class DaxIO(IOPath):
         self.fpu = FPUContext(use_simd=use_simd)
 
     def read(self, clock: CycleClock, offset: int, nbytes: int, category: str = "io") -> bytes:
-        return self.device.dax_read(clock, self.fpu, offset, nbytes, category + ".dax")
+        return with_retries(
+            clock,
+            lambda: self.device.dax_read(clock, self.fpu, offset, nbytes, category + ".dax"),
+            category,
+            self.retry_policy,
+        )
 
     def write(self, clock: CycleClock, offset: int, data: bytes, category: str = "io") -> None:
-        self.device.dax_write(clock, self.fpu, offset, data, category + ".dax")
+        with_retries(
+            clock,
+            lambda: self.device.dax_write(clock, self.fpu, offset, data, category + ".dax"),
+            category,
+            self.retry_policy,
+        )

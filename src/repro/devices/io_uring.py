@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.devices.block import BlockDevice
+from repro.fault.retry import RetryPolicy, with_retries
 from repro.hw.vmx import VMXCostModel
 from repro.sim.clock import CycleClock
 
@@ -58,12 +59,14 @@ class IoUring:
         device: BlockDevice,
         vmx: VMXCostModel,
         queue_depth: int = 64,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if queue_depth <= 0:
             raise ValueError("queue depth must be positive")
         self.device = device
         self.vmx = vmx
         self.queue_depth = queue_depth
+        self.retry_policy = retry_policy
         self.syscalls = 0
         self.ops_submitted = 0
 
@@ -98,8 +101,16 @@ class IoUring:
 
         completions: List[Tuple[IoUringOp, float]] = []
         for op in chunk:
-            done_at = self.device.submit_async(
-                clock, op.offset, op.nbytes, op.is_write, op.data
+            # A failed SQE is reported through its CQE and resubmitted
+            # individually (how io_uring callers handle -EAGAIN/-EIO);
+            # the backoff is charged to the submitting thread.
+            done_at = with_retries(
+                clock,
+                lambda op=op: self.device.submit_async(
+                    clock, op.offset, op.nbytes, op.is_write, op.data
+                ),
+                category,
+                self.retry_policy,
             )
             if not op.is_write:
                 op.result = self.device.store.read(op.offset, op.nbytes)

@@ -32,6 +32,11 @@ NVME_WRITE_IOPS = 500_000
 class NvmeDevice(BlockDevice):
     """A P4800X-like NVMe SSD."""
 
+    #: Injected latency spikes at full scale: an NVMe internal stall
+    #: (GC, wear-leveling, thermal throttle) is the ~100 us class event
+    #: the fault plan's default spike models.
+    fault_latency_scale = 1.0
+
     def __init__(self, capacity_bytes: int = 375 * units.GIB, name: str = "nvme0") -> None:
         super().__init__(
             name=name,

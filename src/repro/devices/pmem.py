@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.common import constants, units
 from repro.devices.block import BlockDevice
+from repro.fault.plan import FAULT_NONE
 from repro.hw.fpu import FPUContext
 from repro.sim.clock import CycleClock
 
@@ -36,6 +37,10 @@ PMEM_MEDIA_BANDWIDTH = 40 * units.GIB
 
 class PmemDevice(BlockDevice):
     """DRAM-backed pmem block device with a DAX access window."""
+
+    #: A pmem "spike" is a row-buffer/refresh-class stall, orders of
+    #: magnitude shorter than an SSD internal-GC pause.
+    fault_latency_scale = 0.01
 
     def __init__(self, capacity_bytes: int = 128 * units.GIB, name: str = "pmem0") -> None:
         super().__init__(
@@ -68,6 +73,7 @@ class PmemDevice(BlockDevice):
         media_done = (
             self.media.admit(clock.now, nbytes) if self.media is not None else 0.0
         )
+        self._dax_fault(clock, offset, nbytes, is_write=False, data=None)
         fpu.charge_copy(clock, nbytes, category)
         clock.wait_until(media_done, "idle.membw")
         self.reads += 1
@@ -86,8 +92,27 @@ class PmemDevice(BlockDevice):
         media_done = (
             self.media.admit(clock.now, len(data)) if self.media is not None else 0.0
         )
+        self._dax_fault(clock, offset, len(data), is_write=True, data=data)
         fpu.charge_copy(clock, len(data), category)
         clock.wait_until(media_done, "idle.membw")
         self.writes += 1
         self.bytes_written += len(data)
         self.store.write(offset, data)
+
+    def _dax_fault(
+        self, clock: CycleClock, offset: int, nbytes: int, is_write: bool, data
+    ) -> None:
+        """Consult the fault plan on the DAX path (poison/ECC stalls).
+
+        Latency spikes block the copy (charged as a fault-latency wait);
+        errors model a poisoned line raising a machine-check the DAX
+        layer reports as a transient failure; torn writes land a prefix
+        (cacheline-granular persistence without a fence).
+        """
+        if self.faults is None:
+            return
+        decision = self.faults.decide(clock.now, is_write, nbytes)
+        if decision.kind == FAULT_NONE:
+            return
+        extra = self._apply_fault(decision, offset, nbytes, is_write, data)
+        clock.wait_until(clock.now + extra, "idle.fault.latency")

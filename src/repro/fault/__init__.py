@@ -1,0 +1,82 @@
+"""repro.fault — deterministic fault injection and crash recovery.
+
+Three cooperating pieces, all seed-deterministic and all disabled (one
+branch of cost) by default:
+
+* :class:`~repro.fault.plan.FaultPlan` — a seeded, per-device schedule of
+  transient errors, latency spikes, and torn writes that the device
+  models consult on every command.  Install one process-wide with
+  :func:`install_plan` (or the :class:`plan_installed` context manager)
+  *before* building a stack; devices pick it up at construction.
+* :mod:`~repro.fault.retry` — the shared retry-with-backoff policy the
+  I/O paths apply to transient faults, with cycles charged and
+  ``fault.retries`` / ``fault.giveups`` metrics.
+* :data:`~repro.fault.crash.CRASH` — the crash-point controller:
+  writeback/msync/eviction/WAL boundaries report to it, and an armed run
+  crashes deterministically at the Nth boundary with a durable-state
+  snapshot for recovery testing.
+
+The cross-engine differential oracle lives in
+:mod:`repro.fault.differential` (imported on demand — it pulls in the
+whole engine stack).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import (
+    DeviceError,
+    SimulatedCrash,
+    TornWriteError,
+    TransientDeviceError,
+)
+from repro.fault.crash import (
+    CRASH,
+    CrashController,
+    DeviceSnapshot,
+    restore_devices,
+    snapshot_devices,
+)
+from repro.fault.plan import (
+    DEFAULT_LATENCY_SPIKE_CYCLES,
+    FAULT_ERROR,
+    FAULT_LATENCY,
+    FAULT_NONE,
+    FAULT_TORN,
+    DeviceFaultInjector,
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_plan,
+    install_plan,
+    plan_installed,
+)
+from repro.fault.retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
+
+__all__ = [
+    "CRASH",
+    "CrashController",
+    "DEFAULT_LATENCY_SPIKE_CYCLES",
+    "DEFAULT_RETRY_POLICY",
+    "DeviceError",
+    "DeviceFaultInjector",
+    "DeviceSnapshot",
+    "FAULT_ERROR",
+    "FAULT_LATENCY",
+    "FAULT_NONE",
+    "FAULT_TORN",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "TornWriteError",
+    "TransientDeviceError",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+    "plan_installed",
+    "restore_devices",
+    "snapshot_devices",
+    "with_retries",
+]

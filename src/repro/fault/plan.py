@@ -1,0 +1,272 @@
+"""Seed-deterministic fault plans for devices.
+
+A :class:`FaultPlan` describes *when* and *how* the simulated devices
+misbehave.  Every device derives its own named random stream from the
+plan's master seed (via :func:`repro.sim.rand.stream`), so the fault
+schedule is a pure function of ``(seed, spec)`` — independent of thread
+interleaving, of how much randomness other components consume, and of
+wall-clock time.  Two runs with the same seed and spec produce
+byte-identical schedules (see :meth:`FaultPlan.schedule`).
+
+Three fault kinds are modeled, matching what a DRAM-cache-over-storage
+stack must survive:
+
+* ``error``   — a transient command failure (``TransientDeviceError``);
+  the I/O paths retry these with backoff (:mod:`repro.fault.retry`);
+* ``latency`` — a transient service-time spike (device-internal GC,
+  thermal throttling); the command succeeds but completes late;
+* ``torn``    — a write fails after only a prefix of the payload landed
+  (power cut / aborted DMA; ``TornWriteError``).
+
+Triggers are **op-indexed** (the Nth command on a device) by default;
+rate-based decisions draw a fixed number of randoms per op so the stream
+stays aligned whatever the outcome.  A cycle window (``after_cycle`` /
+``until_cycle``) gates injection to a region of simulated time, and
+explicit per-op triggers pin a fault kind to an exact command ordinal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import rand
+
+FAULT_NONE = "none"
+FAULT_ERROR = "error"
+FAULT_LATENCY = "latency"
+FAULT_TORN = "torn"
+
+#: Default transient latency spike, in cycles (~100 us at 2.4 GHz —
+#: a realistic SSD internal-GC stall).
+DEFAULT_LATENCY_SPIKE_CYCLES = 240_000.0
+
+
+@dataclass
+class FaultSpec:
+    """Static description of a fault mix (rates are per device command)."""
+
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    torn_rate: float = 0.0
+    #: Mean magnitude of a latency spike; the drawn spike is uniform in
+    #: [0.5x, 1.5x] of this, then scaled by the device's
+    #: ``fault_latency_scale``.
+    latency_spike_cycles: float = DEFAULT_LATENCY_SPIKE_CYCLES
+    #: Cap on total injected faults per device (None = unlimited).
+    max_faults_per_device: Optional[int] = None
+    #: Simulated-cycle window outside which nothing is injected.
+    after_cycle: float = 0.0
+    until_cycle: Optional[float] = None
+    #: Explicit op-indexed triggers: ``{device_name: {op_index: kind}}``.
+    #: Triggers fire regardless of rates (but respect the cycle window
+    #: and the per-device cap) and keep the random stream aligned.
+    triggers: Dict[str, Dict[int, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("error_rate", self.error_rate),
+            ("latency_rate", self.latency_rate),
+            ("torn_rate", self.torn_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.error_rate + self.latency_rate + self.torn_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.latency_spike_cycles < 0:
+            raise ValueError("latency_spike_cycles must be non-negative")
+
+
+class FaultDecision:
+    """The injector's verdict for one device command."""
+
+    __slots__ = ("kind", "extra_latency_cycles", "torn_fraction")
+
+    def __init__(
+        self,
+        kind: str = FAULT_NONE,
+        extra_latency_cycles: float = 0.0,
+        torn_fraction: float = 0.0,
+    ) -> None:
+        self.kind = kind
+        self.extra_latency_cycles = extra_latency_cycles
+        self.torn_fraction = torn_fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultDecision({self.kind}, +{self.extra_latency_cycles:.0f}cy, "
+            f"torn={self.torn_fraction:.2f})"
+        )
+
+
+_NO_FAULT = FaultDecision()
+
+
+class DeviceFaultInjector:
+    """Per-device fault stream: one :meth:`decide` call per command.
+
+    Each decision draws exactly two uniforms from the device's derived
+    stream (one to pick the kind, one for the magnitude), so the schedule
+    for command *N* never depends on what earlier commands did with their
+    draws.
+    """
+
+    def __init__(self, plan: "FaultPlan", device_name: str) -> None:
+        self.plan = plan
+        self.device_name = device_name
+        self._rng = rand.stream(plan.seed, f"fault.{device_name}")
+        self._triggers = plan.spec.triggers.get(device_name, {})
+        self.op_index = 0
+        self.ops_seen = 0
+        self.errors_injected = 0
+        self.latency_injected = 0
+        self.torn_injected = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults of any kind injected on this device."""
+        return self.errors_injected + self.latency_injected + self.torn_injected
+
+    def _capped(self) -> bool:
+        cap = self.plan.spec.max_faults_per_device
+        return cap is not None and self.faults_injected >= cap
+
+    def decide(self, now: float, is_write: bool, nbytes: int) -> FaultDecision:
+        """The fault verdict for the next command on this device."""
+        spec = self.plan.spec
+        index = self.op_index
+        self.op_index += 1
+        self.ops_seen += 1
+        # Fixed draws per op keep the stream aligned across outcomes.
+        u_kind = self._rng.random()
+        u_mag = self._rng.random()
+
+        if now < spec.after_cycle:
+            return _NO_FAULT
+        if spec.until_cycle is not None and now >= spec.until_cycle:
+            return _NO_FAULT
+        if self._capped():
+            return _NO_FAULT
+
+        kind = self._triggers.get(index)
+        if kind is None:
+            if u_kind < spec.error_rate:
+                kind = FAULT_ERROR
+            elif u_kind < spec.error_rate + spec.latency_rate:
+                kind = FAULT_LATENCY
+            elif u_kind < spec.error_rate + spec.latency_rate + spec.torn_rate:
+                kind = FAULT_TORN
+            else:
+                return _NO_FAULT
+        if kind == FAULT_TORN and not is_write:
+            # Reads cannot tear; the equivalent failure is a plain error.
+            kind = FAULT_ERROR
+
+        decision = FaultDecision(kind)
+        if kind == FAULT_ERROR:
+            self.errors_injected += 1
+        elif kind == FAULT_LATENCY:
+            self.latency_injected += 1
+            decision.extra_latency_cycles = spec.latency_spike_cycles * (0.5 + u_mag)
+        elif kind == FAULT_TORN:
+            self.torn_injected += 1
+            decision.torn_fraction = u_mag
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.plan._record(self.device_name, index, kind, u_mag)
+        return decision
+
+    def counters(self) -> Dict[str, int]:
+        """Injection counters, for metrics binding and reports."""
+        return {
+            "ops_seen": self.ops_seen,
+            "errors": self.errors_injected,
+            "latency": self.latency_injected,
+            "torn": self.torn_injected,
+        }
+
+
+class FaultPlan:
+    """A master seed plus a :class:`FaultSpec`, shared by all devices.
+
+    Devices obtain their injector through :meth:`injector_for`; the plan
+    accumulates every injected fault into :meth:`schedule`, which two
+    runs with the same seed and spec reproduce byte-for-byte.
+    """
+
+    def __init__(self, seed: int, spec: Optional[FaultSpec] = None) -> None:
+        self.seed = seed
+        self.spec = spec if spec is not None else FaultSpec()
+        self._injectors: Dict[str, DeviceFaultInjector] = {}
+        self._schedule: List[Tuple[str, int, str, float]] = []
+
+    def injector_for(self, device_name: str) -> DeviceFaultInjector:
+        """The (cached) injector for ``device_name``."""
+        injector = self._injectors.get(device_name)
+        if injector is None:
+            injector = DeviceFaultInjector(self, device_name)
+            self._injectors[device_name] = injector
+        return injector
+
+    def _record(self, device: str, op_index: int, kind: str, magnitude: float) -> None:
+        self._schedule.append((device, op_index, kind, magnitude))
+
+    def schedule(self) -> List[Tuple[str, int, str, float]]:
+        """Every injected fault as ``(device, op_index, kind, magnitude)``,
+        sorted by device then op index (a canonical, comparable form)."""
+        return sorted(self._schedule)
+
+    def total_faults(self) -> int:
+        """Faults injected across all devices so far."""
+        return len(self._schedule)
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-device injection counters."""
+        return {
+            name: injector.counters()
+            for name, injector in sorted(self._injectors.items())
+        }
+
+
+# -- process-wide default plan -------------------------------------------------
+#
+# Devices consult the active plan at construction (so experiment factories
+# need no plumbing changes): install a plan, build the stack, run, clear.
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Set (or clear, with ``None``) the process-wide fault plan.
+
+    Only devices constructed *while a plan is installed* inject faults.
+    """
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    return _ACTIVE_PLAN
+
+
+def clear_plan() -> None:
+    """Remove the installed plan (new devices run fault-free)."""
+    install_plan(None)
+
+
+class plan_installed:
+    """Context manager installing ``plan`` for the duration of a block."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = active_plan()
+        install_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        install_plan(self._previous)
+        return False

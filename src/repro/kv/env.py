@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.common import units
+from repro.fault.crash import CRASH
+from repro.fault.retry import with_retries
 from repro.mmio.engine import Mapping, MmioEngine
 from repro.mmio.explicit import ExplicitIOEngine
 from repro.mmio.files import BackingFile, ExtentAllocator
@@ -69,13 +71,20 @@ class _BulkWriter:
             take = min(chunk_bytes, len(data) - pos)
             page = (offset + pos) >> units.PAGE_SHIFT
             in_page = (offset + pos) & (units.PAGE_SIZE - 1)
-            file.device.submit(
+            chunk = data[pos : pos + take]
+            dev_offset = file.device_offset(page) + in_page
+            CRASH.point("bulk_write.chunk")
+            with_retries(
                 thread.clock,
-                file.device_offset(page) + in_page,
-                take,
-                is_write=True,
-                data=data[pos : pos + take],
-                wait_category="idle.io.bulk_write",
+                lambda dev_offset=dev_offset, chunk=chunk: file.device.submit(
+                    thread.clock,
+                    dev_offset,
+                    len(chunk),
+                    is_write=True,
+                    data=chunk,
+                    wait_category="idle.io.bulk_write",
+                ),
+                "io.bulk_write",
             )
             pos += take
 
@@ -199,6 +208,33 @@ class MmioEnv(StorageEnv):
 
     def append(self, thread: SimThread, file: BackingFile, offset: int, data: bytes) -> None:
         _BulkWriter.bulk_write(thread, file, offset, data)
+        self._update_cached_range(thread, file, offset, data)
+
+    def _update_cached_range(
+        self, thread: SimThread, file: BackingFile, offset: int, data: bytes
+    ) -> None:
+        """Keep engine-cached pages coherent with a direct device write.
+
+        ``bulk_write`` bypasses the engine cache.  A stale cached page
+        overlapping the appended range would serve old bytes to loads
+        and — if dirty — clobber the freshly appended bytes on the next
+        msync, silently losing acknowledged WAL data.
+        """
+        if not data:
+            return
+        pool = self.engine._pool()
+        first = offset >> units.PAGE_SHIFT
+        last = (offset + len(data) - 1) >> units.PAGE_SHIFT
+        for page_index in range(first, last + 1):
+            page = self.engine._cached_page(file, page_index)
+            if page is None:
+                continue
+            page_start = page_index << units.PAGE_SHIFT
+            lo = max(offset, page_start)
+            hi = min(offset + len(data), page_start + units.PAGE_SIZE)
+            frame_data = bytearray(pool.read(page.frame))
+            frame_data[lo - page_start : hi - page_start] = data[lo - offset : hi - offset]
+            pool.write(page.frame, bytes(frame_data))
 
     def msync_all(self, thread: SimThread) -> int:
         """Flush every live mapping (shutdown/checkpoint)."""

@@ -23,10 +23,12 @@ Structure:
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.common import constants, units
 from repro.common.errors import OutOfSpaceError
+from repro.fault.crash import CRASH
 from repro.kv.btree import FileBTree, PageAllocator
 from repro.kv.memtable import TOMBSTONE
 from repro.mmio.engine import Mapping, MmioEngine
@@ -35,6 +37,8 @@ from repro.sim.executor import SimThread
 
 _KLEN = 2
 _VLEN = 4
+#: Trailing crc32 of ``key + value`` — lets recovery detect a torn tail.
+_CRC = 4
 
 
 class Kreon:
@@ -70,6 +74,7 @@ class Kreon:
             + key
             + len(value).to_bytes(_VLEN, "little")
             + value
+            + zlib.crc32(key + value).to_bytes(_CRC, "little")
         )
         offset = self.log_tail
         limit = self.allocator.low_water_page * units.PAGE_SIZE
@@ -178,7 +183,72 @@ class Kreon:
 
     def msync(self, thread: SimThread) -> int:
         """Persist the volume (Kreon's CoW msync via the engine)."""
-        return self.mapping.msync(thread)
+        written = self.mapping.msync(thread)
+        CRASH.point("kreon.msync")
+        return written
+
+    # -- crash recovery ----------------------------------------------------------------
+
+    def _try_read_record(
+        self, thread: SimThread, offset: int
+    ) -> Optional[Tuple[bytes, bytes, int]]:
+        """Parse one log record at ``offset``; None if torn or absent.
+
+        A record is rejected when its header runs past the volume, its
+        key length is zero (unwritten space reads as zeros), or the
+        trailing checksum does not match — the signature of a torn
+        write at the log tail.
+        """
+        end = self.volume.size_bytes
+        if offset + _KLEN > end:
+            return None
+        klen = int.from_bytes(self.mapping.load(thread, offset, _KLEN), "little")
+        if klen == 0 or offset + _KLEN + klen + _VLEN > end:
+            return None
+        key = self.mapping.load(thread, offset + _KLEN, klen)
+        vlen = int.from_bytes(
+            self.mapping.load(thread, offset + _KLEN + klen, _VLEN), "little"
+        )
+        record_end = offset + _KLEN + klen + _VLEN + vlen + _CRC
+        if record_end > end:
+            return None
+        value = self.mapping.load(thread, offset + _KLEN + klen + _VLEN, vlen)
+        crc = int.from_bytes(
+            self.mapping.load(thread, offset + _KLEN + klen + _VLEN + vlen, _CRC),
+            "little",
+        )
+        if crc != zlib.crc32(key + value):
+            return None
+        return key, value, record_end - offset
+
+    def recover(self, thread: SimThread) -> int:
+        """Rebuild volatile state from the durable value log after a crash.
+
+        Re-indexes every complete record from the start of the log and
+        stops at the first torn/unwritten record.  Log appends are
+        strictly sequential, so acknowledged-durable records always
+        form a prefix of the log: stopping at the tear can only drop
+        records that were never acknowledged as durable.
+
+        Returns the number of records recovered.
+        """
+        self.l0 = {}
+        self.levels = [None] * len(self.levels)
+        # Pre-crash index pages are untrusted after recovery; spills
+        # rebuild every level from the re-indexed log.
+        self.allocator = PageAllocator(self.volume.size_pages)
+        offset = 0
+        recovered = 0
+        while True:
+            record = self._try_read_record(thread, offset)
+            if record is None:
+                break
+            key, _value, length = record
+            self.l0[key] = offset
+            offset += length
+            recovered += 1
+        self.log_tail = offset
+        return recovered
 
     def stats(self) -> dict:
         """Operational counters for reporting."""

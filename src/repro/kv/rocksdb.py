@@ -16,9 +16,11 @@ underneath.
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Optional, Tuple
 
 from repro.common import constants, units
+from repro.fault.crash import CRASH
 from repro.kv.env import MmioEnv, StorageEnv
 from repro.kv.lsm import LSMTree
 from repro.kv.memtable import TOMBSTONE, Memtable
@@ -52,6 +54,9 @@ class RocksDB:
         self._wal_file: Optional[BackingFile] = None
         self._wal_offset = 0
         self._wal_capacity = wal_bytes
+        #: Every WAL segment ever rotated in, in append order — the
+        #: recovery "manifest" replay_wal walks after a crash.
+        self.wal_files: List[BackingFile] = []
         self._flushes = 0
         self.gets = 0
         self.puts = 0
@@ -74,11 +79,18 @@ class RocksDB:
     # -- write path -------------------------------------------------------------
 
     def _wal_append(self, thread: SimThread, key: bytes, value: bytes) -> None:
-        record = len(key).to_bytes(2, "little") + key + len(value).to_bytes(4, "little") + value
+        record = (
+            len(key).to_bytes(2, "little")
+            + key
+            + len(value).to_bytes(4, "little")
+            + value
+            + zlib.crc32(key + value).to_bytes(4, "little")
+        )
         if self._wal_file is None or self._wal_offset + len(record) > self._wal_capacity:
             self._wal_file = self.env.write_file(
-                thread, f"wal/{self._flushes:06d}.log", bytes(self._wal_capacity)
+                thread, f"wal/{len(self.wal_files):06d}.log", bytes(self._wal_capacity)
             )
+            self.wal_files.append(self._wal_file)
             self._wal_offset = 0
         self.env.append(thread, self._wal_file, self._wal_offset, record)
         self._wal_offset += len(record)
@@ -105,6 +117,7 @@ class RocksDB:
         self.immutable = None
         if self.auto_compact:
             self.lsm.compact_all(thread)
+        CRASH.point("rocksdb.flush")
 
     def flush(self, thread: SimThread) -> None:
         """Force the memtable to disk (benchmark phase boundary)."""
@@ -114,6 +127,62 @@ class RocksDB:
     def compact_all(self, thread: SimThread) -> int:
         """Run all pending compactions."""
         return self.lsm.compact_all(thread)
+
+    # -- crash recovery -----------------------------------------------------------
+
+    def _try_read_wal_record(
+        self, thread: SimThread, file: BackingFile, offset: int
+    ) -> Optional[Tuple[bytes, bytes, int]]:
+        """Parse one WAL record at ``offset``; None if torn or absent.
+
+        Unwritten WAL space reads as zeros (segments are preallocated),
+        so a zero key length marks the end of valid records; an overrun
+        or checksum mismatch marks a torn tail.
+        """
+        end = file.size_bytes
+        if offset + 2 > end:
+            return None
+        klen = int.from_bytes(self.env.read(thread, file, offset, 2), "little")
+        if klen == 0 or offset + 2 + klen + 4 > end:
+            return None
+        key = self.env.read(thread, file, offset + 2, klen)
+        vlen = int.from_bytes(
+            self.env.read(thread, file, offset + 2 + klen, 4), "little"
+        )
+        record_end = offset + 2 + klen + 4 + vlen + 4
+        if record_end > end:
+            return None
+        value = self.env.read(thread, file, offset + 2 + klen + 4, vlen)
+        crc = int.from_bytes(self.env.read(thread, file, record_end - 4, 4), "little")
+        if crc != zlib.crc32(key + value):
+            return None
+        return key, value, record_end - offset
+
+    def replay_wal(self, thread: SimThread) -> int:
+        """Rebuild the memtable from WAL segments after a crash.
+
+        Segments are replayed in append order; each scan stops at the
+        first incomplete record — the torn tail a crash can leave.
+        Appends are sequential, so acknowledged records always form a
+        prefix and the stop cannot drop acked data.  Replayed puts go
+        straight to the memtable without re-appending to the WAL.
+
+        Returns the number of records replayed.
+        """
+        replayed = 0
+        for file in self.wal_files:
+            offset = 0
+            while True:
+                record = self._try_read_wal_record(thread, file, offset)
+                if record is None:
+                    break
+                key, value, length = record
+                self.memtable.put(key, value)
+                offset += length
+                replayed += 1
+            if file is self._wal_file:
+                self._wal_offset = offset
+        return replayed
 
     # -- read path ---------------------------------------------------------------
 

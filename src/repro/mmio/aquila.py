@@ -24,10 +24,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.common import constants, units
-from repro.common.errors import OutOfMemoryError, SegmentationFault
+from repro.common.errors import OutOfMemoryError, SegmentationFault, TransientDeviceError
 from repro.cache.aquila_cache import AquilaCache
 from repro.cache.base import CachePage
 from repro.devices.io_engines import DaxIO, IOPath
+from repro.fault.crash import CRASH
 from repro.hw.ept import EPT
 from repro.hw.machine import Machine
 from repro.hw.vmx import ExecutionDomain, VMXCostModel
@@ -77,6 +78,7 @@ class AquilaEngine(MmioEngine):
         if self.ept is not None:
             self.ept.grant(0, cache_pages * units.PAGE_SIZE)
         self.eviction_batches = 0
+        self.readahead_aborted = 0
 
     # -- engine plumbing ------------------------------------------------------
 
@@ -197,7 +199,15 @@ class AquilaEngine(MmioEngine):
                 continue
             frame = self._allocate_with_eviction(thread)
             offset = file.device_offset(page_index)
-            file.device.submit_async(clock, offset, units.PAGE_SIZE, is_write=False)
+            try:
+                file.device.submit_async(clock, offset, units.PAGE_SIZE, is_write=False)
+            except TransientDeviceError:
+                # Readahead is speculative: degrade by abandoning the
+                # window rather than retrying — the demand fault that
+                # actually needs the page will retry through its io_path.
+                self.cache.freelist.free(clock, thread.core, frame)
+                self.readahead_aborted += 1
+                break
             self.cache.pool.write(frame, file.device.store.read(offset, units.PAGE_SIZE))
             self.cache.insert(clock, file, page_index, frame)
 
@@ -227,6 +237,7 @@ class AquilaEngine(MmioEngine):
             )
             if dirty:
                 self._write_back_dirty(thread, dirty, sync=True)
+            CRASH.point(f"{self.name}.evict")
 
             vpns: List[int] = []
             for page in victims:
@@ -249,6 +260,7 @@ class AquilaEngine(MmioEngine):
             with TRACER.span("writeback.io", thread.clock):
                 for run in self._merge_runs(pages):
                     data = b"".join(self.cache.pool.read(page.frame) for page in run)
+                    CRASH.point(f"{self.name}.writeback.run")
                     self.io_path.write(
                         thread.clock, run[0].device_offset, data, "writeback.io"
                     )
@@ -278,6 +290,7 @@ class AquilaEngine(MmioEngine):
                 if page.file.file_id == file.file_id and first <= page.file_page < last
             ]
             if not dirty:
+                self._drain_inflight(thread, file)
                 return 0
             # Downgrade PTEs to read-only so future writes re-mark dirty.
             vpns: List[int] = []
@@ -289,4 +302,9 @@ class AquilaEngine(MmioEngine):
                         pte.dirty = False
                         vpns.append(vpn)
             self._shootdown(thread, vpns)
-            return self._write_back_dirty(thread, dirty, sync=True)
+            written = self._write_back_dirty(thread, dirty, sync=True)
+            # msync must not return before every queued write of this file
+            # (including earlier async writeback) has completed.
+            self._drain_inflight(thread, file)
+            CRASH.point(f"{self.name}.msync")
+            return written

@@ -14,11 +14,13 @@ Engines differ only in what a *fault* costs and how the cache behaves.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common import constants, units
 from repro.common.errors import ProtectionFault, SegmentationFault
 from repro.devices.block import BlockDevice
+from repro.fault.crash import CRASH
+from repro.fault.retry import RetryPolicy, with_retries
 from repro.hw.machine import Machine
 from repro.hw.page_table import PageTable
 from repro.hw.vmx import VMXCostModel
@@ -86,11 +88,18 @@ class MmioEngine:
 
     name = "abstract"
 
+    #: Retry policy for transient writeback faults (None = stack default).
+    retry_policy: Optional[RetryPolicy] = None
+
     def __init__(self, machine: Machine, vmas: VMAStore, vmx: VMXCostModel) -> None:
         self.machine = machine
         self.vmas = vmas
         self.vmx = vmx
         self.page_table = PageTable()
+        # Per-file completion horizon of queued (sync=False) writebacks.
+        # Async writeback marks pages clean at submission; a durability
+        # call must still wait for these completions before returning.
+        self._wb_inflight: Dict[int, float] = {}
         self.faults = 0
         self.major_faults = 0      # needed device I/O
         self.minor_faults = 0      # page present (race/hit) or write-protect
@@ -374,11 +383,35 @@ class MmioEngine:
                 device: BlockDevice = run[0].file.device
                 data = b"".join(pool.read(page.frame) for page in run)
                 offset = run[0].device_offset
-                completion = device.submit_async(
-                    thread.clock, offset, len(data), is_write=True, data=data
+                CRASH.point(f"{self.name}.writeback.run")
+                completion = with_retries(
+                    thread.clock,
+                    lambda device=device, offset=offset, data=data: device.submit_async(
+                        thread.clock, offset, len(data), is_write=True, data=data
+                    ),
+                    category,
+                    self.retry_policy,
                 )
                 thread.clock.charge(category + ".submit", 400 + 30 * len(run))
                 completions.append(completion)
+                fid = run[0].file.file_id
+                self._wb_inflight[fid] = max(
+                    self._wb_inflight.get(fid, 0.0), completion
+                )
             if sync and completions:
                 thread.clock.wait_until(max(completions), "idle.io.writeback")
+                CRASH.point(f"{self.name}.writeback.sync")
         return len(pages)
+
+    def _drain_inflight(self, thread: SimThread, file: BackingFile) -> None:
+        """Block until every queued async writeback of ``file`` completes.
+
+        Background writeback (``sync=False``) marks pages clean as soon
+        as the device accepts the command, so by the time a durability
+        call (msync/fsync) scans for dirty pages those writes are
+        invisible — yet they have not completed.  Returning before they
+        do would report partially-acknowledged writes as durable.
+        """
+        done_at = self._wb_inflight.pop(file.file_id, 0.0)
+        if done_at > thread.clock.now:
+            thread.clock.wait_until(done_at, "idle.io.writeback")

@@ -12,8 +12,12 @@ the KV stores can swap it for an mmio engine behind one adapter.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common import constants, units
 from repro.cache.user_cache import UserSpaceCache
+from repro.fault.crash import CRASH
+from repro.fault.retry import RetryPolicy, with_retries
 from repro.hw.machine import Machine
 from repro.hw.vmx import ExecutionDomain, VMXCostModel
 from repro.mmio.files import BackingFile
@@ -28,6 +32,9 @@ class ExplicitIOEngine:
     """Direct I/O with user-space caching."""
 
     name = "explicit-io"
+
+    #: Retry policy for transient device faults (None = stack default).
+    retry_policy: Optional[RetryPolicy] = None
 
     def __init__(
         self,
@@ -64,12 +71,17 @@ class ExplicitIOEngine:
                 "io.syscall.kernel", self.syscall_miss_cycles - constants.SYSCALL_CYCLES
             )
         with TRACER.span("io.device", clock):
-            data = file.device.submit(
+            data = with_retries(
                 clock,
-                file.device_offset(block),
-                BLOCK_SIZE,
-                is_write=False,
-                wait_category="idle.io.read",
+                lambda: file.device.submit(
+                    clock,
+                    file.device_offset(block),
+                    BLOCK_SIZE,
+                    is_write=False,
+                    wait_category="idle.io.read",
+                ),
+                "io",
+                self.retry_policy,
             )
         with TRACER.span("ucache.insert", clock):
             self.cache.insert(clock, thread.tid, file.file_id, block, data)
@@ -126,13 +138,21 @@ class ExplicitIOEngine:
                 in_page = pos % units.PAGE_SIZE
                 run_pages = file.contiguous_run(page, units.pages(len(data) - written) + 1)
                 take = min(len(data) - written, run_pages * units.PAGE_SIZE - in_page)
-                file.device.submit(
+                chunk = data[written : written + take]
+                dev_offset = file.device_offset(page) + in_page
+                CRASH.point(f"{self.name}.pwrite.run")
+                with_retries(
                     clock,
-                    file.device_offset(page) + in_page,
-                    take,
-                    is_write=True,
-                    data=data[written : written + take],
-                    wait_category="idle.io.write",
+                    lambda dev_offset=dev_offset, chunk=chunk: file.device.submit(
+                        clock,
+                        dev_offset,
+                        len(chunk),
+                        is_write=True,
+                        data=chunk,
+                        wait_category="idle.io.write",
+                    ),
+                    "io",
+                    self.retry_policy,
                 )
                 pos += take
                 written += take
@@ -140,3 +160,4 @@ class ExplicitIOEngine:
     def fsync(self, thread: SimThread, file: BackingFile) -> None:
         """Direct I/O writes are durable on completion; fsync is a syscall."""
         self.vmx.syscall(thread.clock, "io.syscall")
+        CRASH.point(f"{self.name}.fsync")

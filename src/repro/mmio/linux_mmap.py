@@ -21,10 +21,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.common import constants, units
-from repro.common.errors import OutOfMemoryError, SegmentationFault
+from repro.common.errors import OutOfMemoryError, SegmentationFault, TransientDeviceError
 from repro.devices.pmem import PmemDevice
 from repro.cache.base import CachePage
 from repro.cache.kernel_cache import KernelPageCache
+from repro.fault.crash import CRASH
+from repro.fault.retry import with_retries
 from repro.hw.machine import Machine
 from repro.hw.vmx import ExecutionDomain, VMXCostModel
 from repro.mmio.engine import Mapping, MmioEngine
@@ -63,6 +65,7 @@ class LinuxMmapEngine(MmioEngine):
         self.dirty_ratio = dirty_ratio
         self._shootdowns = machine.make_shootdown_controller("linux")
         self.readahead_reads = 0
+        self.readahead_aborted = 0
         self.reclaim_runs = 0
         # Pages locked by an in-progress fault (PG_locked): reclaim skips
         # them, so a readahead window can never evict its own pages.
@@ -182,14 +185,32 @@ class LinuxMmapEngine(MmioEngine):
             offset = file.device_offset(start_page)
             blocking = any(page_index == file_page for page_index, _ in run)
             if blocking:
-                data = file.device.submit(
-                    clock, offset, nbytes, is_write=False, wait_category="idle.io.fault"
+                data = with_retries(
+                    clock,
+                    lambda: file.device.submit(
+                        clock, offset, nbytes, is_write=False,
+                        wait_category="idle.io.fault",
+                    ),
+                    "fault.io",
+                    self.retry_policy,
                 )
                 if not isinstance(file.device, PmemDevice):
                     # Interrupt-driven completion: IRQ + wakeup + reschedule.
                     clock.charge("fault.io.irq", constants.HOST_NVME_COMPLETION_CYCLES)
             else:
-                file.device.submit_async(clock, offset, nbytes, is_write=False)
+                try:
+                    file.device.submit_async(clock, offset, nbytes, is_write=False)
+                except TransientDeviceError:
+                    # Speculative readahead degrades instead of retrying:
+                    # drop the fresh pages so nobody sees unfilled frames.
+                    for page_index, _ in run:
+                        page = self.cache.get_nocost(file, page_index)
+                        if page is not None:
+                            self._pinned.discard((file.file_id, page_index))
+                            self.cache.remove(clock, thread.tid, page)
+                    self.readahead_aborted += len(run)
+                    run.clear()
+                    return
                 data = file.device.store.read(offset, nbytes)
                 self.readahead_reads += len(run)
             for index, (_, frame) in enumerate(run):
@@ -280,6 +301,7 @@ class LinuxMmapEngine(MmioEngine):
             # Victims the trylock pass skips stay resident: they must be
             # re-protected like any cleaned page.
             self._mark_clean_and_protect(thread, dirty)
+        CRASH.point(f"{self.name}.reclaim")
         removed = self.cache.remove_batch(clock, thread.tid, victims)
         if not removed:
             # Every mapping was busy: force one page out to make progress.
@@ -353,4 +375,10 @@ class LinuxMmapEngine(MmioEngine):
                 thread, dirty, sync=True, category="writeback.msync"
             )
             self._mark_clean_and_protect(thread, dirty)
+            # Ordering: background writeback (sync=False) marked its pages
+            # clean at submission, so they are invisible to the dirty scan
+            # above — but their device completions may still be pending.
+            # msync must not report durability before they land.
+            self._drain_inflight(thread, file)
+            CRASH.point(f"{self.name}.msync")
             return written

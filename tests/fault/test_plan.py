@@ -1,0 +1,166 @@
+"""FaultPlan: seed-determinism, stream independence, windows, caps."""
+
+import pytest
+
+from repro.fault.plan import (
+    FAULT_ERROR,
+    FAULT_LATENCY,
+    FAULT_NONE,
+    FAULT_TORN,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_plan,
+    install_plan,
+    plan_installed,
+)
+
+MIXED = dict(error_rate=0.10, latency_rate=0.10, torn_rate=0.05)
+
+
+def _drive(plan, device="dev0", ops=500):
+    injector = plan.injector_for(device)
+    kinds = []
+    for index in range(ops):
+        decision = injector.decide(float(index * 100), index % 2 == 0, 4096)
+        kinds.append(decision.kind)
+    return kinds
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(123, FaultSpec(**MIXED))
+            kinds = _drive(plan)
+            runs.append((kinds, plan.schedule(), plan.summary()))
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(1, FaultSpec(**MIXED))
+        b = FaultPlan(2, FaultSpec(**MIXED))
+        assert _drive(a) != _drive(b)
+
+    def test_schedule_is_canonical_sorted(self):
+        plan = FaultPlan(9, FaultSpec(**MIXED))
+        _drive(plan, "zeta", 200)
+        _drive(plan, "alpha", 200)
+        schedule = plan.schedule()
+        assert schedule == sorted(schedule)
+        assert schedule  # mixed rates over 400 ops must inject something
+
+    def test_streams_independent_across_devices(self):
+        """Device B's schedule must not depend on device A's draws."""
+        solo = FaultPlan(7, FaultSpec(**MIXED))
+        solo_kinds = _drive(solo, "b", 300)
+
+        both = FaultPlan(7, FaultSpec(**MIXED))
+        a = both.injector_for("a")
+        b = both.injector_for("b")
+        interleaved = []
+        for index in range(300):
+            a.decide(float(index), True, 4096)
+            interleaved.append(b.decide(float(index), index % 2 == 0, 4096).kind)
+        assert interleaved == solo_kinds
+
+    def test_fixed_draws_keep_stream_aligned(self):
+        """A capped run consumes the stream exactly like an uncapped one,
+        so later ops decide identically."""
+        capped = FaultPlan(5, FaultSpec(**MIXED, max_faults_per_device=3))
+        free = FaultPlan(5, FaultSpec(**MIXED))
+        ci = capped.injector_for("d")
+        fi = free.injector_for("d")
+        for index in range(400):
+            ci.decide(float(index), True, 4096)
+            fi.decide(float(index), True, 4096)
+        # Every fault the capped run did inject matches the free run's
+        # schedule prefix for those op indices.
+        free_by_index = {op: (kind, mag) for _, op, kind, mag in free.schedule()}
+        for _, op, kind, mag in capped.schedule():
+            assert free_by_index[op] == (kind, mag)
+
+
+class TestWindowsAndCaps:
+    def test_after_cycle_gates_injection(self):
+        plan = FaultPlan(3, FaultSpec(**MIXED, after_cycle=1e9))
+        injector = plan.injector_for("d")
+        for index in range(200):
+            assert injector.decide(float(index), True, 4096).kind == FAULT_NONE
+        assert plan.total_faults() == 0
+
+    def test_until_cycle_gates_injection(self):
+        plan = FaultPlan(3, FaultSpec(**MIXED, until_cycle=0.0))
+        injector = plan.injector_for("d")
+        for index in range(200):
+            assert injector.decide(float(index + 1), True, 4096).kind == FAULT_NONE
+
+    def test_window_admits_inside(self):
+        plan = FaultPlan(3, FaultSpec(**MIXED, after_cycle=100.0, until_cycle=200.0))
+        injector = plan.injector_for("d")
+        kinds = {injector.decide(150.0, True, 4096).kind for _ in range(400)}
+        assert kinds - {FAULT_NONE}  # something injected inside the window
+
+    def test_max_faults_per_device_cap(self):
+        plan = FaultPlan(11, FaultSpec(error_rate=1.0, max_faults_per_device=5))
+        injector = plan.injector_for("d")
+        for index in range(100):
+            injector.decide(float(index), True, 4096)
+        assert injector.faults_injected == 5
+        assert plan.total_faults() == 5
+
+
+class TestTriggers:
+    def test_trigger_fires_at_exact_op(self):
+        plan = FaultPlan(1, FaultSpec(triggers={"d": {3: FAULT_ERROR}}))
+        injector = plan.injector_for("d")
+        kinds = [injector.decide(0.0, True, 4096).kind for _ in range(6)]
+        assert kinds == [FAULT_NONE] * 3 + [FAULT_ERROR] + [FAULT_NONE] * 2
+
+    def test_torn_trigger_on_read_degrades_to_error(self):
+        plan = FaultPlan(1, FaultSpec(triggers={"d": {0: FAULT_TORN}}))
+        injector = plan.injector_for("d")
+        assert injector.decide(0.0, False, 4096).kind == FAULT_ERROR
+
+    def test_latency_trigger_scales_magnitude(self):
+        spec = FaultSpec(latency_spike_cycles=1000.0, triggers={"d": {0: FAULT_LATENCY}})
+        plan = FaultPlan(1, spec)
+        decision = plan.injector_for("d").decide(0.0, True, 4096)
+        assert decision.kind == FAULT_LATENCY
+        assert 500.0 <= decision.extra_latency_cycles <= 1500.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["error_rate", "latency_rate", "torn_rate"])
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(ValueError):
+            FaultSpec(**{field: value})
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec(error_rate=0.5, latency_rate=0.4, torn_rate=0.2)
+
+    def test_negative_spike_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(latency_spike_cycles=-1.0)
+
+
+class TestInstallation:
+    def teardown_method(self):
+        clear_plan()
+
+    def test_install_and_clear(self):
+        plan = FaultPlan(1)
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_context_manager_restores_previous(self):
+        outer = FaultPlan(1)
+        inner = FaultPlan(2)
+        install_plan(outer)
+        with plan_installed(inner) as got:
+            assert got is inner
+            assert active_plan() is inner
+        assert active_plan() is outer
