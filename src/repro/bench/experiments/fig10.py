@@ -21,6 +21,55 @@ from repro.workloads.microbench import MicrobenchConfig, run_microbench
 
 DEFAULT_THREAD_COUNTS = [1, 2, 4, 8, 16, 32]
 
+#: Default per-figure access budget.  10x the original 4096: the batched
+#: scheduler retires in-memory re-access runs in bulk, so figure-scale runs
+#: stay fast while the latency distributions get much tighter tails.
+DEFAULT_TOTAL_ACCESSES = 40960
+
+
+def size_fig10_cell(
+    num_threads: int,
+    shared_file: bool,
+    in_memory: bool,
+    cache_pages: int,
+    total_accesses: int,
+) -> Dict:
+    """Pure sizing arithmetic for one Figure 10 cell.
+
+    Device capacity is sized from the bytes the cell *actually allocates*:
+    private mode splits the dataset across per-thread files (with a 64-page
+    floor), so capacity must scale with ``per_file_pages * num_threads``,
+    not with ``dataset_pages * num_threads`` — the latter overflows the
+    pmem capacity defaults at batched figure scales.
+
+    ``accesses_per_thread`` is no longer capped at the thread's partition
+    share: the microbenchmark's touch-once plan re-accesses owned pages
+    once the partition is exhausted (pure cache hits in-memory), which is
+    the regime the batched fast path accelerates.
+    """
+    if in_memory:
+        dataset_pages = cache_pages            # 100 GB data / 100 GB DRAM
+        touch_once = True
+    else:
+        dataset_pages = cache_pages * 100 // 8  # 100 GB data / 8 GB DRAM
+        touch_once = False
+    if shared_file:
+        per_file_pages = dataset_pages
+        num_files = 1
+    else:
+        # The dataset total is fixed; private mode splits it across files.
+        per_file_pages = max(64, dataset_pages // num_threads)
+        num_files = num_threads
+    file_bytes = per_file_pages * num_files * units.PAGE_SIZE
+    return {
+        "dataset_pages": dataset_pages,
+        "per_file_pages": per_file_pages,
+        "num_files": num_files,
+        "capacity_bytes": max(512 * units.MIB, 2 * file_bytes),
+        "accesses_per_thread": max(8, total_accesses // num_threads),
+        "touch_once": touch_once,
+    }
+
 
 def run_config(
     engine_kind: str,
@@ -28,46 +77,37 @@ def run_config(
     shared_file: bool,
     in_memory: bool,
     cache_pages: int = 2048,
-    total_accesses: int = 4096,
+    total_accesses: int = DEFAULT_TOTAL_ACCESSES,
     device_kind: str = "pmem",
+    batched: bool = True,
 ) -> Dict:
     """One (engine, threads, sharing, fit) cell of Figure 10."""
-    if in_memory:
-        dataset_pages = cache_pages            # 100 GB data / 100 GB DRAM
-        touch_once = True
-    else:
-        dataset_pages = cache_pages * 100 // 8  # 100 GB data / 8 GB DRAM
-        touch_once = False
-    # Size the device to hold every private file.
-    capacity = max(
-        512 * units.MIB,
-        (dataset_pages * units.PAGE_SIZE) * (1 if shared_file else num_threads) * 2,
+    sizing = size_fig10_cell(
+        num_threads, shared_file, in_memory, cache_pages, total_accesses
     )
+    capacity = sizing["capacity_bytes"]
     if engine_kind == "linux":
         stack = make_linux_stack(device_kind, cache_pages, capacity_bytes=capacity)
     else:
         stack = make_aquila_stack(device_kind, cache_pages, capacity_bytes=capacity)
 
-    accesses_per_thread = max(8, total_accesses // num_threads)
-    if in_memory and shared_file:
-        # touch-once partitions pages between threads; cap per-thread work
-        # to its share of the dataset.
-        accesses_per_thread = min(accesses_per_thread, dataset_pages // num_threads)
-
     if shared_file:
-        files = stack.allocator.create("shared", dataset_pages * units.PAGE_SIZE)
+        files = stack.allocator.create(
+            "shared", sizing["dataset_pages"] * units.PAGE_SIZE
+        )
     else:
-        # The dataset total is fixed; private mode splits it across files.
-        per_file_pages = max(64, dataset_pages // num_threads)
         files = [
-            stack.allocator.create(f"private-{i}", per_file_pages * units.PAGE_SIZE)
+            stack.allocator.create(
+                f"private-{i}", sizing["per_file_pages"] * units.PAGE_SIZE
+            )
             for i in range(num_threads)
         ]
     config = MicrobenchConfig(
         num_threads=num_threads,
-        accesses_per_thread=accesses_per_thread,
-        touch_once=touch_once,
+        accesses_per_thread=sizing["accesses_per_thread"],
+        touch_once=sizing["touch_once"],
         shared_file=shared_file,
+        batched=batched,
     )
     result = run_microbench(stack.engine, files, config)
     latencies = result.merged_latencies()
@@ -88,7 +128,7 @@ def run_sweep(
     in_memory: bool,
     thread_counts: Optional[List[int]] = None,
     cache_pages: int = 2048,
-    total_accesses: int = 4096,
+    total_accesses: int = DEFAULT_TOTAL_ACCESSES,
 ) -> List[Dict]:
     """Linux and Aquila across thread counts for one configuration."""
     counts = thread_counts if thread_counts is not None else DEFAULT_THREAD_COUNTS

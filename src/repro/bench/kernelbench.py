@@ -1,0 +1,201 @@
+"""Simulation-kernel throughput benchmark: ``python -m repro.bench.kernelbench``.
+
+Measures how fast the simulator itself runs (wall-clock sim-ops/sec), not
+what it simulates.  Each cell is one figure configuration executed twice —
+unbatched min-heap scheduler vs epoch-batched scheduler — so the report
+shows both absolute kernel throughput and the batching speedup the
+conformance tier proves is free of simulation-visible effects.
+
+Outputs ``BENCH_kernel.json``.  With ``--check`` it compares batched
+sim-ops/sec against a committed baseline (``benchmarks/BENCH_baseline.json``)
+and exits 1 on a >25% regression in any cell — the CI ``perf`` job runs
+exactly that.  Wall-clock numbers are machine-dependent; the gate is
+deliberately loose and the baseline is refreshed with ``--update-baseline``
+whenever the kernel legitimately changes speed class.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+#: Regression gate: fail if a cell's batched sim-ops/sec drops below this
+#: fraction of the committed baseline.
+REGRESSION_FRACTION = 0.75
+
+#: The acceptance headline rides on this cell: the Figure 10(a) in-memory
+#: shared-file configuration at bench scale, where the re-access tail is
+#: long enough that per-run fixed costs (stack construction, plan
+#: generation) stop masking the scheduler's marginal cost.
+HEADLINE_CELL = "fig10a_shared_16t_benchscale"
+
+#: (name, fig10 run_config kwargs).  Each cell runs once per mode.
+CELLS: List[tuple] = [
+    (
+        "fig10a_shared_16t",
+        dict(engine_kind="aquila", num_threads=16, shared_file=True,
+             in_memory=True, cache_pages=2048, total_accesses=40960),
+    ),
+    (
+        HEADLINE_CELL,
+        dict(engine_kind="aquila", num_threads=16, shared_file=True,
+             in_memory=True, cache_pages=2048, total_accesses=1310720),
+    ),
+    (
+        "fig10a_private_16t",
+        dict(engine_kind="aquila", num_threads=16, shared_file=False,
+             in_memory=True, cache_pages=2048, total_accesses=40960),
+    ),
+    (
+        "fig10b_shared_16t",
+        dict(engine_kind="aquila", num_threads=16, shared_file=True,
+             in_memory=False, cache_pages=512, total_accesses=8192),
+    ),
+]
+
+
+def _run_cell(kwargs: Dict, batched: bool, repeats: int) -> Dict:
+    """Best-of-``repeats`` wall time for one (cell, mode) pair.
+
+    GC is paused around each timed run: the unbatched scheduler allocates
+    heavily (one heap entry per op) and collector pauses otherwise add
+    tens of percent of run-to-run noise to an 8-second cell.
+    """
+    import gc
+
+    from repro.bench.experiments.fig10 import run_config
+    from repro.mmio.files import BackingFile
+    from repro.sim.executor import SimThread
+
+    best_wall = None
+    ops = 0
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeats):
+            SimThread.reset_ids()
+            BackingFile.reset_ids()
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            result = run_config(batched=batched, **kwargs)
+            wall = time.perf_counter() - start
+            if gc_was_enabled:
+                gc.enable()
+            ops = result["ops"]
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "wall_seconds": round(best_wall, 6),
+        "sim_ops_per_sec": round(ops / best_wall, 1),
+        "ops": ops,
+    }
+
+
+def run_benchmark(repeats: int = 3) -> Dict:
+    """Run every cell in both modes; returns the report dict."""
+    cells: Dict[str, Dict] = {}
+    for name, kwargs in CELLS:
+        unbatched = _run_cell(kwargs, batched=False, repeats=repeats)
+        batched = _run_cell(kwargs, batched=True, repeats=repeats)
+        speedup = batched["sim_ops_per_sec"] / unbatched["sim_ops_per_sec"]
+        cells[name] = {
+            "config": {k: v for k, v in kwargs.items()},
+            "ops": batched["ops"],
+            "unbatched": {k: v for k, v in unbatched.items() if k != "ops"},
+            "batched": {k: v for k, v in batched.items() if k != "ops"},
+            "speedup_batched_over_unbatched": round(speedup, 3),
+        }
+        print(
+            f"{name}: {batched['sim_ops_per_sec']:>12,.0f} sim-ops/s batched "
+            f"({unbatched['sim_ops_per_sec']:,.0f} unbatched, "
+            f"{speedup:.2f}x)"
+        )
+    return {
+        "schema": 1,
+        "repeats": repeats,
+        "cells": cells,
+        "headline": {
+            "cell": HEADLINE_CELL,
+            "speedup_batched_over_unbatched": cells[HEADLINE_CELL][
+                "speedup_batched_over_unbatched"
+            ],
+        },
+    }
+
+
+def check_regressions(report: Dict, baseline: Dict) -> List[str]:
+    """Compare batched sim-ops/sec to the baseline; returns failures."""
+    failures = []
+    for name, base_cell in baseline.get("cells", {}).items():
+        cell = report["cells"].get(name)
+        if cell is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        base = base_cell["batched"]["sim_ops_per_sec"]
+        now = cell["batched"]["sim_ops_per_sec"]
+        if now < REGRESSION_FRACTION * base:
+            failures.append(
+                f"{name}: batched {now:,.0f} sim-ops/s is "
+                f"{now / base:.2%} of baseline {base:,.0f} "
+                f"(gate: >= {REGRESSION_FRACTION:.0%})"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernelbench",
+        description="Benchmark the simulation kernel (batched vs unbatched).",
+    )
+    parser.add_argument("--output", default="BENCH_kernel.json",
+                        help="where to write the report (default: %(default)s)")
+    parser.add_argument("--baseline", default="benchmarks/BENCH_baseline.json",
+                        help="committed baseline for --check/--update-baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any cell regresses >25%% vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the fresh report over the baseline file")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-time repeats per cell (best is kept)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if args.check:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures = check_regressions(report, baseline)
+        if failures:
+            print("kernel throughput regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(gate: {REGRESSION_FRACTION:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

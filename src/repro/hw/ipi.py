@@ -28,27 +28,50 @@ from repro.hw.tlb import TLB
 
 
 class InterferenceAccount:
-    """Pending asynchronous work (IPI handling) charged to a core."""
+    """Pending asynchronous work (IPI handling) charged to a core.
+
+    Each post carries the sim time it was issued and is only delivered
+    once the absorbing thread's clock has reached that time.  An
+    interrupt cannot arrive before it was sent; time-gating the delivery
+    also makes the op boundary that absorbs a given post a function of
+    sim time alone, so the epoch-batched scheduler (which retires hit
+    runs ahead of other threads' pops) attributes interference to
+    exactly the same operation as the unbatched min-heap schedule.
+    """
 
     def __init__(self) -> None:
-        self._pending: Dict[int, float] = {}
+        self._pending: Dict[int, List[List[float]]] = {}
         self.total_delivered = 0.0
 
-    def post(self, core: int, cycles: float) -> None:
-        """Queue ``cycles`` of interrupt-handling work on ``core``."""
-        self._pending[core] = self._pending.get(core, 0.0) + cycles
+    def post(self, core: int, cycles: float, when: float = 0.0) -> None:
+        """Queue ``cycles`` of interrupt work on ``core``, sent at ``when``."""
+        self._pending.setdefault(core, []).append([when, cycles])
 
     def absorb(self, core: int, clock: CycleClock, category: str = "interference.ipi") -> float:
-        """Charge and clear the pending work for ``core``; returns cycles."""
-        cycles = self._pending.pop(core, 0.0)
-        if cycles > 0:
-            clock.charge(category, cycles)
-            self.total_delivered += cycles
+        """Charge and clear the matured work for ``core``; returns cycles.
+
+        Only posts issued at or before ``clock.now`` are delivered; work
+        posted "in the future" (relative to this core's clock) stays
+        queued for a later boundary.
+        """
+        queue = self._pending.get(core)
+        if not queue:
+            return 0.0
+        now = clock.now
+        matured = [entry for entry in queue if entry[0] <= now]
+        if not matured:
+            return 0.0
+        queue[:] = [entry for entry in queue if entry[0] > now]
+        if not queue:
+            del self._pending[core]
+        cycles = sum(entry[1] for entry in matured)
+        clock.charge(category, cycles)
+        self.total_delivered += cycles
         return cycles
 
     def pending(self, core: int) -> float:
-        """Cycles currently queued on ``core``."""
-        return self._pending.get(core, 0.0)
+        """Cycles currently queued on ``core`` (matured or not)."""
+        return sum(entry[1] for entry in self._pending.get(core, ()))
 
 
 class ShootdownController:
@@ -154,7 +177,7 @@ class ShootdownController:
                 handling = receive_cost + constants.TLB_INVALIDATE_LOCAL_CYCLES * len(
                     vpn_list
                 )
-            self.interference.post(core, handling)
+            self.interference.post(core, handling, when=clock.now)
 
         # Wait for the slowest acknowledgement; receivers respond in
         # roughly the receive-handling time.

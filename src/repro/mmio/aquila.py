@@ -44,6 +44,12 @@ class AquilaEngine(MmioEngine):
 
     name = "aquila"
 
+    #: Batching-invariant audit (see ``repro.sim.executor``): the earliest
+    #: cross-thread-visible interaction on any Aquila operation is behind
+    #: the 552-cycle fault entry, the mmap-class vmcall, or the msync
+    #: entry + dirty-tree scan (100 + 220) — whichever is smallest.
+    sync_preamble_cycles = 100 + constants.AQUILA_MSYNC_SCAN_CYCLES
+
     def __init__(
         self,
         machine: Machine,
@@ -281,6 +287,10 @@ class AquilaEngine(MmioEngine):
         """
         with TRACER.span("msync", thread.clock):
             thread.clock.charge("msync.entry", 100)
+            # Merging the per-core dirty trees to build the flush set costs
+            # tree-walk cycles; charging it before the PTE downgrades also
+            # keeps every mutation behind ``sync_preamble_cycles``.
+            thread.clock.charge("msync.scan", constants.AQUILA_MSYNC_SCAN_CYCLES)
             file = mapping.vma.file
             first = mapping.vma.file_start_page
             last = first + mapping.vma.num_pages

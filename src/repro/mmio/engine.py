@@ -91,6 +91,12 @@ class MmioEngine:
     #: Retry policy for transient writeback faults (None = stack default).
     retry_policy: Optional[RetryPolicy] = None
 
+    #: Minimum cycles this engine charges between an operation's start and
+    #: its first cross-thread-visible interaction (the batching invariant;
+    #: see ``repro.sim.executor``).  Subclasses override with their audited
+    #: value; ``tests/conformance/test_invariant.py`` checks the bound.
+    sync_preamble_cycles: float = constants.SYSCALL_CYCLES
+
     def __init__(self, machine: Machine, vmas: VMAStore, vmx: VMXCostModel) -> None:
         self.machine = machine
         self.vmas = vmas
@@ -104,6 +110,12 @@ class MmioEngine:
         self.major_faults = 0      # needed device I/O
         self.minor_faults = 0      # page present (race/hit) or write-protect
         self.wp_faults = 0         # write-protect (dirty-tracking) subset
+        self.hit_runs = 0          # batched-mode runs retired via hit_run
+        self.batched_hits = 0      # operations retired inside those runs
+        # Quiescence-certificate bookkeeping (run_ahead_unbounded_ok).
+        self._mapped_vma_pages = 0
+        self._ranges_disturbed = False
+        self._dirtied = False
         METRICS.bind_object(
             f"engine.{self.name}",
             self,
@@ -112,6 +124,8 @@ class MmioEngine:
                 "faults.major": "major_faults",
                 "faults.minor": "minor_faults",
                 "faults.wp": "wp_faults",
+                "hit_runs": "hit_runs",
+                "batched_hits": "batched_hits",
             },
         )
 
@@ -128,12 +142,15 @@ class MmioEngine:
         """Map ``file`` into the address space (shared, file-backed)."""
         self._charge_range_update(thread)
         vma = self.vmas.mmap(thread.clock, file, num_pages, file_start_page, prot)
+        self._mapped_vma_pages += vma.num_pages
         return Mapping(self, vma)
 
     def munmap(self, thread: SimThread, mapping: Mapping) -> None:
         """Destroy a mapping: flush dirty pages, drop PTEs and TLB entries."""
         if not mapping.active:
             return
+        self._ranges_disturbed = True
+        self._mapped_vma_pages -= mapping.vma.num_pages
         self._charge_range_update(thread)
         self.msync(thread, mapping)
         vpns = [
@@ -177,6 +194,7 @@ class MmioEngine:
         """
         if not mapping.active:
             raise SegmentationFault(0, "mprotect on unmapped region")
+        self._ranges_disturbed = True
         self._charge_range_update(thread)
         vma = mapping.vma
         vma.prot = prot
@@ -206,6 +224,8 @@ class MmioEngine:
             return
         if old.file_start_page + new_num_pages > old.file.size_pages:
             raise ValueError("mremap extends past end of file")
+        self._ranges_disturbed = True
+        self._mapped_vma_pages += new_num_pages - old.num_pages
         self._charge_range_update(thread)
         new_vma = self.vmas.mmap(
             thread.clock,
@@ -289,18 +309,197 @@ class MmioEngine:
             self.faults += 1
             self.minor_faults += 1
             self.wp_faults += 1
+            self._dirtied = True
             with TRACER.span("fault.wp", thread.clock):
                 return self._write_protect_fault(thread, mapping.vma, vpn, pte)
         self.faults += 1
+        if is_write:
+            self._dirtied = True
         with TRACER.span("fault", thread.clock):
             return self._fault(thread, mapping.vma, vpn, is_write)
+
+    def hit_run(
+        self,
+        thread: SimThread,
+        mapping: Mapping,
+        accesses,
+        index: int,
+        horizon: float,
+        write_data: bytes,
+    ) -> int:
+        """Retire a run of consecutive pure-hit accesses in one step.
+
+        ``accesses`` is a plan of three parallel sequences
+        ``(pages, in_page_offsets, is_write_flags)``, one entry per
+        access; the run starts at ``index`` and consumes while each
+        access starts at or before ``horizon`` and hits: PTE
+        present and writable when needed.  The charge sequence per access
+        is call-for-call identical to the hit branch of
+        :meth:`_ensure_mapped` (absorb interference, TLB access, hit
+        charge), so a batched run is cycle- and state-identical to the
+        same accesses retired one executor step at a time — the property
+        the ``tests/conformance`` tier checks.  Per-access latencies are
+        recorded as in unbatched mode; the run itself is one trace span at
+        most, not one per access.
+
+        Returns the number of accesses consumed (0 if the first one needs
+        the fault path — the caller falls back to ``load``/``store``).
+        """
+        if not mapping.active:
+            return 0
+        vma = mapping.vma
+        vma_writable = bool(vma.prot & PROT_WRITE)
+        num_pages = vma.num_pages
+        start_vpn = vma.start_vpn
+        clock = thread.clock
+        pages_seq, offsets_seq, writes_seq = accesses
+        # Early reject before the per-run setup below: miss-dominated
+        # cells call this once per op and consume nothing, so the
+        # zero-consumed path must cost no more than these few checks
+        # (they mirror the first loop iteration exactly).
+        if clock.now > horizon:
+            return 0
+        page = pages_seq[index]
+        is_write = writes_seq[index]
+        if (is_write and not vma_writable) or not 0 <= page < num_pages:
+            return 0
+        pte = self.page_table._entries.get(start_vpn + page)
+        if pte is None or (is_write and not pte.writable):
+            return 0
+        machine = self.machine
+        tlb = machine.tlb_of(thread)
+        lookup = self.page_table.lookup
+        pool = self._pool()
+        consumed = 0
+        total = len(pages_seq)
+        if clock.cpi_factor == 1.0 and clock._obs_span is None:
+            # Slim path: with CPI 1.0 every per-op charge is an integer
+            # float, so batching the breakdown updates (one dict write per
+            # run instead of per op) is bit-exact; with no open span the
+            # tracer hook in ``charge`` is a no-op we can skip.  The clock
+            # trajectory itself still advances per op, so recorded
+            # latencies are identical floats.
+            entries = tlb._entries
+            move_to_end = entries.move_to_end
+            tlb_capacity = tlb.capacity
+            interference = machine.interference
+            pending = interference._pending
+            core = thread.core
+            append = thread.latencies._samples.append
+            pte_get = self.page_table._entries.get
+            hit_cost = constants.LOAD_STORE_HIT_CYCLES
+            walk_cost = constants.TLB_MISS_WALK_CYCLES
+            now = clock.now
+            walks = 0
+            while index < total and now <= horizon:
+                page = pages_seq[index]
+                is_write = writes_seq[index]
+                if (is_write and not vma_writable) or not 0 <= page < num_pages:
+                    break
+                vpn = start_vpn + page
+                pte = pte_get(vpn)
+                if pte is None or (is_write and not pte.writable):
+                    break
+                start = now
+                if core in pending:
+                    clock.now = now
+                    interference.absorb(core, clock)
+                    now = clock.now
+                if vpn in entries:
+                    move_to_end(vpn)
+                    tlb.hits += 1
+                else:
+                    tlb.misses += 1
+                    now += walk_cost
+                    walks += 1
+                    entries[vpn] = None
+                    if len(entries) > tlb_capacity:
+                        entries.popitem(last=False)
+                now += hit_cost
+                pte.accessed = True
+                if is_write:
+                    pool.write_partial(pte.frame, offsets_seq[index], write_data)
+                append(now - start)
+                index += 1
+                consumed += 1
+            clock.now = now
+            if consumed:
+                cycles = clock.breakdown._cycles
+                cycles["app.access"] += hit_cost * consumed
+                if walks:
+                    cycles["tlb.miss_walk"] += walk_cost * walks
+                thread.latencies._sorted_cache = None
+                thread.ops_completed += consumed
+        else:
+            record_op = thread.record_op
+            while index < total and clock.now <= horizon:
+                page = pages_seq[index]
+                is_write = writes_seq[index]
+                if (is_write and not vma_writable) or not 0 <= page < num_pages:
+                    break
+                vpn = start_vpn + page
+                pte = lookup(vpn)
+                if pte is None or (is_write and not pte.writable):
+                    # Needs the fault path: leave the whole op (including
+                    # its interference absorb) to the caller's slow path so
+                    # its recorded latency matches unbatched execution.
+                    break
+                start = clock.now
+                machine.absorb_interference(thread)
+                tlb.access(vpn, clock)
+                clock.charge("app.access", constants.LOAD_STORE_HIT_CYCLES)
+                pte.accessed = True
+                if is_write:
+                    pool.write_partial(pte.frame, offsets_seq[index], write_data)
+                record_op(start)
+                index += 1
+                consumed += 1
+        if consumed:
+            self.hit_runs += 1
+            self.batched_hits += consumed
+        return consumed
+
+    def run_ahead_unbounded_ok(self) -> bool:
+        """Certificate for an *unbounded* hit-run-ahead horizon.
+
+        True only while no operation any thread can take mutates
+        cross-thread-visible state before the next heap re-entry:
+
+        * every page reachable through a live VMA has a guaranteed cache
+          frame (``mapped pages <= capacity``), so no fault can ever
+          evict — hence no PTE removal, no shootdown, no interference
+          post.  Faults then only *add* entries, which commutes with
+          run-ahead hits (a hit either sees the entry or breaks to the
+          heap and retries in order);
+        * no range was ever unmapped, shrunk, or downgraded (cached
+          pages outside live VMAs would break the capacity argument);
+        * nothing was ever dirtied — writeback would otherwise
+          write-protect pages (and shoot down) behind readers' backs.
+
+        Callers (the batched executor via its ``quiescent`` hook) must
+        only consult this for workload phases consisting of loads and
+        stores on a stable set of mappings; an mmap/msync/mprotect issued
+        concurrently with an in-flight unbounded run would not be covered
+        by the certificate evaluated at the run's start.
+        """
+        if self._ranges_disturbed or self._dirtied:
+            return False
+        cache = getattr(self, "cache", None)
+        if cache is None:
+            return False
+        return self._mapped_vma_pages <= cache.capacity_pages
 
     def invalidate_file(self, thread: SimThread, file: BackingFile) -> int:
         """Drop every cached page of ``file`` without writeback (deletion).
 
         Returns the number of pages dropped.  PTEs pointing at the dropped
-        pages are torn down with a shootdown, as truncation does.
+        pages are torn down with a shootdown, as truncation does.  The
+        range-update charge up front models the truncate/unlink entry and
+        keeps the batching invariant: no cross-thread-visible mutation
+        within ``sync_preamble_cycles`` of the operation's start.
         """
+        self._ranges_disturbed = True
+        self._charge_range_update(thread)
         pages = self._pages_of_file(file.file_id)
         vpns: List[int] = []
         for page in pages:

@@ -31,6 +31,20 @@ class BackingFile:
         self.name = name
         self.size_bytes = size_bytes
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart file-id assignment (reproducible back-to-back runs only)."""
+        cls._ids = itertools.count(1)
+
+    def __hash__(self) -> int:
+        # Identity hashing would make hash-striped structures (the lock-free
+        # page table's atomic stripes, cache shards) depend on object
+        # *addresses*: two otherwise-identical simulations would see
+        # different stripe collisions.  Hash by stable file identity so
+        # repeat runs contend on exactly the same stripes.  Equality stays
+        # identity-based: distinct live files always have distinct ids.
+        return hash((self.file_id, self.name))
+
     @property
     def size_pages(self) -> int:
         """File length in whole 4 KiB pages."""

@@ -1,0 +1,303 @@
+"""Batched-vs-unbatched conformance harness (the batching oracle).
+
+The epoch-batched scheduler (``repro.sim.executor``) is only admissible
+because it changes *nothing observable*: every clock, every cache page,
+every counter must come out bit-identical to the unbatched min-heap
+schedule.  This module runs one microbenchmark cell (or explicit-I/O
+read stream) under both modes and digests the complete end state so
+tests can assert equality — the same replay-and-compare idea as the
+PR 2 cross-engine differential oracle (``repro.fault.differential``),
+but across *scheduler modes* instead of engines.
+
+Digested state:
+
+* per-thread final clocks, op counts, latency sample streams, and
+  per-category cycle breakdowns;
+* the hardware page table (vpn -> frame/writable/dirty/accessed);
+* per-core TLB contents and hit/miss counters;
+* cache contents down to page bytes (frame data checksums) and dirty bits;
+* durable device bytes;
+* every numeric engine/cache counter, *except* the mode-reporting
+  counters (:data:`MODE_COUNTERS`) that exist to describe batching
+  itself and therefore legitimately differ between modes;
+* the injected fault schedule, when a fault plan is active.
+
+Reproducibility note: back-to-back in-process runs must reset the global
+``SimThread`` and ``BackingFile`` id counters — file ids seed the
+hash-striped atomic timelines, so two otherwise-identical runs would
+contend on different stripes (see ``BackingFile.reset_ids``).
+:func:`run_cell` does this automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import units
+from repro.fault.plan import FaultPlan, FaultSpec, clear_plan, install_plan
+from repro.mmio.files import BackingFile
+from repro.sim.executor import SimThread
+
+#: Counters that report on the batching machinery itself (how many runs,
+#: how many ops retired inside runs).  They are mode *metadata*, not
+#: simulation outcomes, and are the only state allowed to differ.
+MODE_COUNTERS = frozenset({"hit_runs", "batched_hits"})
+
+#: Engine kinds driven through the shared-mapping microbenchmark.
+MMIO_ENGINE_KINDS = ("aquila", "linux", "kmmap")
+
+#: All conformance-covered engine kinds (explicit I/O uses the block-read
+#: stream in :func:`run_explicit_cell` instead of a memory mapping).
+ENGINE_KINDS = MMIO_ENGINE_KINDS + ("explicit",)
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def _numeric_state(obj, exclude: frozenset = MODE_COUNTERS) -> Dict[str, float]:
+    """Every public numeric attribute of ``obj`` (counters and sizes)."""
+    state = {}
+    for key, value in vars(obj).items():
+        if key.startswith("_") or key in exclude:
+            continue
+        if isinstance(value, bool) or isinstance(value, (int, float)):
+            state[key] = value
+    return state
+
+
+def _thread_digest(thread: SimThread) -> Dict:
+    return {
+        "clock": thread.clock.now,
+        "ops": thread.ops_completed,
+        "latencies": tuple(thread.latencies.samples()),
+        "breakdown": dict(thread.clock.breakdown._cycles),
+    }
+
+
+def _page_table_digest(page_table) -> Dict[int, Tuple]:
+    return {
+        vpn: (pte.frame, pte.writable, pte.dirty, pte.accessed)
+        for vpn, pte in page_table._entries.items()
+    }
+
+
+def _tlb_digest(machine) -> List[Dict]:
+    return [
+        {
+            "resident": tuple(sorted(tlb.resident_vpns())),
+            "hits": tlb.hits,
+            "misses": tlb.misses,
+        }
+        for tlb in machine.tlbs
+    ]
+
+
+def _file_id_of(key_head) -> int:
+    return key_head if isinstance(key_head, int) else key_head.file_id
+
+
+def _mmio_cache_digest(cache, pool) -> List[Tuple]:
+    """Sorted (file_id, page, frame, dirty, data-checksum) tuples."""
+    if hasattr(cache, "table"):          # Aquila / kmmap lock-free table
+        items = cache.table._map.items()
+    else:                                # Linux kernel page cache
+        items = cache._pages.items()
+    rows = []
+    for key, page in items:
+        rows.append(
+            (
+                _file_id_of(key[0]),
+                key[1],
+                page.frame,
+                bool(page.dirty),
+                _sha(pool.read(page.frame)),
+            )
+        )
+    return sorted(rows)
+
+
+def _device_digest(device) -> List[Tuple[int, str]]:
+    return sorted(
+        (index, _sha(data)) for index, data in device.store._pages.items()
+    )
+
+
+def _common_digest(stack, result, plan: Optional[FaultPlan]) -> Dict:
+    digest = {
+        "threads": [_thread_digest(t) for t in result.threads],
+        "makespan": result.makespan_cycles,
+        "tlbs": _tlb_digest(stack.machine),
+        "engine": _numeric_state(stack.engine),
+        "device": _device_digest(stack.device),
+        "fault_schedule": plan.schedule() if plan is not None else None,
+    }
+    return digest
+
+
+def run_cell(
+    engine_kind: str,
+    batched: bool,
+    num_threads: int = 4,
+    accesses_per_thread: int = 400,
+    cache_pages: int = 256,
+    dataset_pages: int = 192,
+    write_fraction: float = 0.25,
+    touch_once: bool = True,
+    shared_file: bool = True,
+    seed: int = 7,
+    device_kind: str = "pmem",
+    fault_spec: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
+) -> Dict:
+    """Run one mmio microbenchmark cell and return its full state digest."""
+    from repro.bench.setups import (
+        make_aquila_stack,
+        make_kmmap_stack,
+        make_linux_stack,
+    )
+    from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+    makers = {
+        "aquila": make_aquila_stack,
+        "linux": make_linux_stack,
+        "kmmap": make_kmmap_stack,
+    }
+    if engine_kind not in makers:
+        raise ValueError(f"unknown mmio engine kind {engine_kind!r}")
+
+    SimThread.reset_ids()
+    BackingFile.reset_ids()
+    plan = FaultPlan(fault_seed, fault_spec) if fault_spec is not None else None
+    install_plan(plan)
+    try:
+        stack = makers[engine_kind](device_kind, cache_pages)
+        if shared_file:
+            files = stack.allocator.create(
+                "conf-shared", dataset_pages * units.PAGE_SIZE
+            )
+        else:
+            per_file = max(16, dataset_pages // num_threads)
+            files = [
+                stack.allocator.create(f"conf-{i}", per_file * units.PAGE_SIZE)
+                for i in range(num_threads)
+            ]
+        config = MicrobenchConfig(
+            num_threads=num_threads,
+            accesses_per_thread=accesses_per_thread,
+            write_fraction=write_fraction,
+            touch_once=touch_once,
+            shared_file=shared_file,
+            seed=seed,
+            batched=batched,
+        )
+        result = run_microbench(stack.engine, files, config)
+        digest = _common_digest(stack, result, plan)
+        digest["page_table"] = _page_table_digest(stack.engine.page_table)
+        digest["cache"] = _mmio_cache_digest(stack.engine.cache, stack.engine._pool())
+        return digest
+    finally:
+        clear_plan()
+
+
+def run_explicit_cell(
+    batched: bool,
+    num_threads: int = 1,
+    reads_per_thread: int = 200,
+    cache_pages: int = 64,
+    file_pages: int = 96,
+    seed: int = 7,
+    device_kind: str = "pmem",
+    fault_spec: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
+) -> Dict:
+    """Run a block-read stream through the explicit-I/O engine, digest it.
+
+    With one thread the batched executor hands out an infinite horizon and
+    ``ExplicitIOEngine.read_run`` batches user-cache hits; with several
+    threads batching self-disables (shard-lock interactions) and the cell
+    degenerates to the per-op path — conformance covers both regimes.
+    """
+    import random
+
+    from repro.bench.setups import make_device
+    from repro.mmio.files import ExtentAllocator
+    from repro.hw.machine import Machine
+    from repro.mmio.explicit import BLOCK_SIZE, ExplicitIOEngine
+    from repro.sim.executor import Executor, SYNC_HORIZON_CYCLES
+    from repro.sim.rand import derive_seed
+
+    SimThread.reset_ids()
+    BackingFile.reset_ids()
+    plan = FaultPlan(fault_seed, fault_spec) if fault_spec is not None else None
+    install_plan(plan)
+    try:
+        machine = Machine()
+        device = make_device(device_kind)
+        engine = ExplicitIOEngine(machine, cache_pages)
+        allocator = ExtentAllocator(device)
+        file = allocator.create("conf-explicit", file_pages * units.PAGE_SIZE)
+
+        def workload(thread: SimThread):
+            rng = random.Random(derive_seed(seed, f"conf-ex-{thread.tid}"))
+            blocks = [rng.randrange(file_pages) for _ in range(reads_per_thread)]
+            index = 0
+            while index < len(blocks):
+                horizon = thread.run_horizon
+                if horizon is not None:
+                    consumed = engine.read_run(thread, file, blocks, index, horizon)
+                    if consumed:
+                        index += consumed
+                        yield
+                        continue
+                start = thread.clock.now
+                engine.pread(thread, file, blocks[index] * BLOCK_SIZE, 8)
+                thread.record_op(start)
+                index += 1
+                yield
+
+        executor = Executor(epoch_cycles=SYNC_HORIZON_CYCLES if batched else None)
+        threads = []
+        for i in range(num_threads):
+            thread = SimThread(core=i % machine.topology.num_hw_threads)
+            threads.append(thread)
+            executor.add(thread, workload(thread))
+        result = executor.run()
+
+        digest = _common_digest(
+            type("S", (), {"machine": machine, "engine": engine, "device": device}),
+            result,
+            plan,
+        )
+        digest["cache"] = sorted(
+            (key[0], key[1], _sha(data))
+            for shard in engine.cache._shards.values()
+            for key, data in shard.items()
+        )
+        digest["cache_counters"] = _numeric_state(engine.cache)
+        return digest
+    finally:
+        clear_plan()
+
+
+def diff_digests(unbatched: Dict, batched: Dict) -> List[str]:
+    """Human-readable list of every key where the two digests disagree."""
+    problems = []
+    for key in sorted(set(unbatched) | set(batched)):
+        a, b = unbatched.get(key), batched.get(key)
+        if a != b:
+            problems.append(f"{key}: unbatched={a!r} != batched={b!r}")
+    return problems
+
+
+def assert_modes_agree(run, **kwargs) -> Dict:
+    """Run ``run`` (a ``run_cell``-style callable) in both modes and
+    assert bit-identical digests; returns the (shared) digest."""
+    unbatched = run(batched=False, **kwargs)
+    batched = run(batched=True, **kwargs)
+    problems = diff_digests(unbatched, batched)
+    assert not problems, "batched execution diverged:\n  " + "\n  ".join(
+        problems[:10]
+    )
+    return unbatched

@@ -24,6 +24,46 @@ def stream(master_seed: int, stream_name: str) -> random.Random:
     return random.Random(derive_seed(master_seed, stream_name))
 
 
+_MASK64 = (1 << 64) - 1
+#: splitmix64 increment (2^64 / golden ratio); decorrelates counters.
+_SPLITMIX_PHI = 0x9E3779B97F4A7C15
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalizer: one 64-bit value -> one well-mixed 64-bit value.
+
+    Counter-based alternative to a stateful rng: ``mix64(base + PHI*i)``
+    yields draw *i* of a stream directly, so draws can be generated in any
+    order, in bulk (see :func:`counter_draws`), or lazily — always with
+    identical values.
+    """
+    z = value & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def counter_draws(base: int, tag: int, count: int):
+    """``count`` 64-bit draws of the counter stream ``(base, tag)``.
+
+    Returns a ``numpy.uint64`` array when numpy is available and a plain
+    list of ints otherwise — **bit-identical values either way** (the
+    vectorized path is the same splitmix64 arithmetic on wrapping uint64).
+    Each ``tag`` names an independent stream over the same base seed, so a
+    caller can skip a stream entirely without perturbing the others —
+    unlike a shared sequential rng, where every consumer shifts the rest.
+    """
+    start = (base ^ mix64(tag)) & _MASK64
+    try:
+        import numpy as np
+    except ImportError:
+        return [mix64(start + _SPLITMIX_PHI * i) for i in range(count)]
+    z = start + np.uint64(_SPLITMIX_PHI) * np.arange(count, dtype=np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
 class ZipfGenerator:
     """Zipfian integer generator over ``[0, n)`` (YCSB's default skew).
 

@@ -21,14 +21,24 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional, Tuple
+
+try:
+    import numpy as _np
+except ImportError:          # plans fall back to pure-Python, same values
+    _np = None
 
 from repro.common import units
 from repro.mmio.engine import Mapping
 from repro.mmio.vma import MADV_RANDOM
 from repro.obs import TRACER
-from repro.sim.executor import Executor, RunResult, SimThread
-from repro.sim.rand import derive_seed
+from repro.sim.executor import SYNC_HORIZON_CYCLES, Executor, RunResult, SimThread
+from repro.sim.rand import counter_draws, derive_seed
+
+#: All microbenchmark stores write this constant payload.  This is part of
+#: the batching invariant: concurrent hit-stores to the same page commute
+#: only because they store identical bytes (see ``repro.sim.executor``).
+WRITE_DATA = b"\xA5" * 8
 
 
 @dataclass
@@ -41,6 +51,83 @@ class MicrobenchConfig:
     touch_once: bool = True
     shared_file: bool = True
     seed: int = 7
+    #: Run the executor in epoch-batched mode (cycle-identical to the
+    #: unbatched scheduler — proven by tests/conformance — but much faster
+    #: on cache-hit-heavy cells).
+    batched: bool = True
+
+
+#: Tags naming the independent counter streams of one thread's plan.
+_TAG_PAGE, _TAG_OFFSET, _TAG_WRITE = 1, 2, 3
+
+
+def _mod(draws, span: int):
+    """``draws % span`` as a list of ints (numpy array or list input)."""
+    if _np is not None and not isinstance(draws, list):
+        return (draws % span).tolist()
+    return [d % span for d in draws]
+
+
+def _op_plan(
+    thread: SimThread,
+    mapping: Mapping,
+    accesses: int,
+    write_fraction: float,
+    touch_once: bool,
+    seed: int,
+    partition_index: int,
+    partition_count: int,
+) -> Tuple[list, list, list]:
+    """Precompute one thread's access plan as three parallel lists:
+    ``(pages, in_page_offsets, is_write_flags)``.
+
+    Draws come from per-thread counter streams (``repro.sim.rand.mix64``),
+    generated in bulk — vectorized when numpy is present, pure Python
+    otherwise, bit-identical values either way.  The modulo page/offset
+    picks carry a uniformity skew below 2^-50 for page-scale spans,
+    invisible at simulation scale; the plan is a pure function of
+    ``(seed, thread.tid)``.
+
+    When ``touch_once`` asks for more accesses than the thread's partition
+    holds, the plan touches every owned page once and then re-accesses
+    random owned pages — pure cache hits whenever the dataset fits in
+    memory, which is what the batched fast path accelerates.
+    """
+    base = derive_seed(seed, f"mb-{thread.tid}")
+    total_pages = mapping.size_bytes >> units.PAGE_SHIFT
+    if touch_once:
+        # Each thread owns an interleaved share of the pages, permuted.
+        pages = list(range(partition_index, total_pages, partition_count))
+        random.Random(base).shuffle(pages)
+        if accesses <= len(pages) or not pages:
+            sequence = pages[:accesses]
+        else:
+            picks = _mod(
+                counter_draws(base, _TAG_PAGE, accesses - len(pages)),
+                len(pages),
+            )
+            if _np is not None:
+                sequence = pages + _np.asarray(pages)[picks].tolist()
+            else:
+                sequence = pages + [pages[i] for i in picks]
+    else:
+        sequence = _mod(counter_draws(base, _TAG_PAGE, accesses), total_pages)
+    offsets = _mod(
+        counter_draws(base, _TAG_OFFSET, accesses), units.PAGE_SIZE - 8
+    )
+    if write_fraction <= 0.0:
+        writes = [False] * accesses
+    elif write_fraction >= 1.0:
+        writes = [True] * accesses
+    else:
+        # draw/2^64 < write_fraction, computed in integers (exact).
+        threshold = min(int(write_fraction * 2.0 ** 64), (1 << 64) - 1)
+        draws = counter_draws(base, _TAG_WRITE, accesses)
+        if _np is not None and not isinstance(draws, list):
+            writes = (draws < threshold).tolist()
+        else:
+            writes = [d < threshold for d in draws]
+    return sequence, offsets, writes
 
 
 def access_workload(
@@ -53,27 +140,48 @@ def access_workload(
     partition_index: int = 0,
     partition_count: int = 1,
 ) -> Iterator[None]:
-    """One thread's access stream over ``mapping``."""
-    rng = random.Random(derive_seed(seed, f"mb-{thread.tid}"))
-    total_pages = mapping.size_bytes >> units.PAGE_SHIFT
-    if touch_once:
-        # Each thread owns an interleaved share of the pages, permuted.
-        pages = list(range(partition_index, total_pages, partition_count))
-        rng.shuffle(pages)
-        pages = pages[:accesses]
-        sequence: List[int] = pages
-    else:
-        sequence = [rng.randrange(total_pages) for _ in range(accesses)]
+    """One thread's access stream over ``mapping``.
 
-    for page in sequence:
+    In unbatched mode (``thread.run_horizon is None``) every operation goes
+    through the per-op load/store path and yields to the scheduler.  In
+    batched mode the executor publishes a run-ahead horizon before each
+    step, and the workload hands the engine's ``hit_run`` fast path a slice
+    of its precomputed plan: consecutive pure cache hits retire in one step,
+    and the first op needing the fault path (or crossing the horizon) falls
+    back to the per-op slow path below — charge-for-charge identical.
+    """
+    plan = _op_plan(
+        thread,
+        mapping,
+        accesses,
+        write_fraction,
+        touch_once,
+        seed,
+        partition_index,
+        partition_count,
+    )
+    pages_seq, offsets_seq, writes_seq = plan
+    engine = mapping.engine
+    index = 0
+    total = len(pages_seq)
+    while index < total:
+        horizon = thread.run_horizon
+        if horizon is not None:
+            consumed = engine.hit_run(thread, mapping, plan, index, horizon, WRITE_DATA)
+            if consumed:
+                index += consumed
+                yield
+                continue
+        is_write = writes_seq[index]
         start = thread.clock.now
-        offset = page * units.PAGE_SIZE + rng.randrange(units.PAGE_SIZE - 8)
+        offset = pages_seq[index] * units.PAGE_SIZE + offsets_seq[index]
         with TRACER.span("op.access", thread.clock):
-            if rng.random() < write_fraction:
-                mapping.store(thread, offset, b"\xA5" * 8)
+            if is_write:
+                mapping.store(thread, offset, WRITE_DATA)
             else:
                 mapping.load(thread, offset, 8)
         thread.record_op(start)
+        index += 1
         yield
 
 
@@ -95,7 +203,10 @@ def run_microbench(
         if len(file_list) != config.num_threads:
             raise ValueError("need one file per thread for the private-file mode")
 
-    executor = Executor()
+    executor = Executor(
+        epoch_cycles=SYNC_HORIZON_CYCLES if config.batched else None,
+        quiescent=engine.run_ahead_unbounded_ok if config.batched else None,
+    )
     threads = []
     shared_mapping: Optional[Mapping] = None
     for index in range(config.num_threads):

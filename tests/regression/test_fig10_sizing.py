@@ -1,0 +1,74 @@
+"""Unit tests for the Figure 10 cell-sizing arithmetic.
+
+``size_fig10_cell`` is pure arithmetic, but it burned us once: capacity
+was sized from ``dataset_pages * num_threads`` while private mode only
+allocates ``per_file_pages * num_threads`` — at batched figure scales the
+mismatch overflowed the default pmem capacity.  These tests pin the
+invariants the fix established.
+"""
+
+from repro.bench.experiments.fig10 import DEFAULT_TOTAL_ACCESSES, size_fig10_cell
+from repro.common import units
+
+
+def test_shared_in_memory_dataset_matches_cache():
+    s = size_fig10_cell(16, shared_file=True, in_memory=True,
+                        cache_pages=2048, total_accesses=40960)
+    assert s["dataset_pages"] == 2048        # 100 GB data / 100 GB DRAM
+    assert s["per_file_pages"] == 2048
+    assert s["num_files"] == 1
+    assert s["touch_once"] is True
+
+
+def test_out_of_memory_uses_the_paper_ratio():
+    s = size_fig10_cell(16, shared_file=False, in_memory=False,
+                        cache_pages=1024, total_accesses=40960)
+    assert s["dataset_pages"] == 1024 * 100 // 8   # 100 GB data / 8 GB DRAM
+    assert s["touch_once"] is False
+
+
+def test_private_mode_splits_the_dataset_not_multiplies_it():
+    shared = size_fig10_cell(32, True, True, 2048, 40960)
+    private = size_fig10_cell(32, False, True, 2048, 40960)
+    assert private["num_files"] == 32
+    assert private["per_file_pages"] == 2048 // 32
+    # Total allocated bytes match the shared dataset (no 32x blow-up).
+    assert (private["per_file_pages"] * private["num_files"]
+            == shared["dataset_pages"])
+
+
+def test_private_per_file_floor():
+    s = size_fig10_cell(32, shared_file=False, in_memory=True,
+                        cache_pages=256, total_accesses=4096)
+    # 256 // 32 = 8 would be degenerate; the 64-page floor kicks in.
+    assert s["per_file_pages"] == 64
+
+
+def test_capacity_scales_with_allocated_bytes():
+    s = size_fig10_cell(8, shared_file=False, in_memory=False,
+                        cache_pages=16384, total_accesses=40960)
+    allocated = s["per_file_pages"] * s["num_files"] * units.PAGE_SIZE
+    assert s["capacity_bytes"] == 2 * allocated
+    assert s["capacity_bytes"] >= allocated   # file creation cannot overflow
+
+
+def test_capacity_floor_is_512_mib():
+    s = size_fig10_cell(1, shared_file=True, in_memory=True,
+                        cache_pages=64, total_accesses=512)
+    assert s["capacity_bytes"] == 512 * units.MIB
+
+
+def test_accesses_per_thread_is_uncapped_by_partition_size():
+    # 40960 accesses over 16 threads on a 2048-page dataset: each thread
+    # owns 128 pages but runs 2560 accesses — the touch-once plan's
+    # re-access tail (pure cache hits) supplies the rest.
+    s = size_fig10_cell(16, shared_file=True, in_memory=True,
+                        cache_pages=2048, total_accesses=DEFAULT_TOTAL_ACCESSES)
+    assert s["accesses_per_thread"] == DEFAULT_TOTAL_ACCESSES // 16
+    assert s["accesses_per_thread"] * 16 == DEFAULT_TOTAL_ACCESSES
+
+
+def test_accesses_floor():
+    s = size_fig10_cell(32, shared_file=True, in_memory=True,
+                        cache_pages=2048, total_accesses=64)
+    assert s["accesses_per_thread"] == 8
