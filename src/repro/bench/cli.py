@@ -1,7 +1,18 @@
-"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+"""Command-line experiment runner: ``python -m repro.bench <command>``.
 
 Regenerates any of the paper's figures without pytest, printing the same
 tables the benchmark suite does.  ``list`` shows what is available.
+
+Beyond the single-figure commands:
+
+* ``sweep`` — run every figure cell through the multiprocess orchestrator
+  (:mod:`repro.bench.sweep`) into a resumable run manifest;
+* ``report`` — regenerate EXPERIMENTS.md from a sweep manifest, or with
+  ``--check`` verify the committed doc matches the regeneration.
+
+Exit codes: 0 success; 1 a sweep cell failed / a state digest mismatched
+the manifest / ``report --check`` found drift; 2 bad arguments or
+unreadable inputs.
 """
 
 from __future__ import annotations
@@ -190,52 +201,203 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+EPILOG = """\
+examples:
+  python -m repro.bench list
+  python -m repro.bench fig8a --trace trace.json --metrics
+  python -m repro.bench fig10b --threads 1 8 32
+  python -m repro.bench fig8c --faults "seed=42,error=0.01,latency=0.02"
+  python -m repro.bench sweep --workers 4 --resume
+  python -m repro.bench sweep --figures fig10 --scale bench --manifest /tmp/m.jsonl
+  python -m repro.bench report                  # regenerate EXPERIMENTS.md
+  python -m repro.bench report --check          # fail (exit 1) on doc drift
+
+observability and fault flags (added in PRs 1-2) apply to the figure
+commands; --metrics also reports the sweep orchestrator's own counters.
+--faults is rejected for sweep: a fault plan is process-global mutable
+state, so injected runs are only deterministic per single-figure process.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
+    """The CLI argument parser (figures plus sweep/report commands)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate figures of 'Memory-Mapped I/O on Steroids'.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list"],
-        help="which figure to regenerate (or 'list')",
+        choices=sorted(EXPERIMENTS) + ["list", "sweep", "report"],
+        help="figure to regenerate, 'list', 'sweep' (parallel paper sweep), "
+        "or 'report' (EXPERIMENTS.md regeneration)",
     )
-    parser.add_argument(
+    figure = parser.add_argument_group("figure options")
+    figure.add_argument(
         "--threads",
         type=int,
         nargs="+",
         default=None,
         help="thread counts for sweep experiments",
     )
-    parser.add_argument(
+    figure.add_argument(
         "--workloads",
         type=str,
         nargs="+",
         default=None,
         help="YCSB workloads for fig9 (default: all of A-F)",
     )
-    parser.add_argument(
+    obsgroup = parser.add_argument_group("observability and faults")
+    obsgroup.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
-        help="record a cycle trace and write Chrome trace-event JSON to PATH",
+        help="record a cycle trace and write Chrome trace-event JSON to PATH "
+        "(in sweep mode: orchestrator-level per-cell wall-time spans)",
     )
-    parser.add_argument(
+    obsgroup.add_argument(
         "--faults",
         metavar="SPEC",
         default=None,
         help=(
             "inject deterministic device faults, e.g. "
-            "'seed=42,error=0.01,latency=0.02,torn=0.005,spike=240000,max=100'"
+            "'seed=42,error=0.01,latency=0.02,torn=0.005,spike=240000,max=100' "
+            "(figure commands only; rejected for sweep)"
         ),
     )
-    parser.add_argument(
+    obsgroup.add_argument(
         "--metrics",
         action="store_true",
         help="collect counters/gauges/histograms and print a metrics table",
     )
+    sweep = parser.add_argument_group("sweep options")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep (1 = serial in-process; default 1)",
+    )
+    sweep.add_argument(
+        "--figures",
+        nargs="+",
+        metavar="FIG",
+        default=None,
+        help="restrict the sweep to figures matching these prefixes "
+        "(e.g. 'fig10' or 'fig5b fig9')",
+    )
+    sweep.add_argument(
+        "--scale",
+        choices=["figure", "bench"],
+        default="figure",
+        help="cell sizing: 'figure' = paper grid (default), 'bench' = "
+        "shrunk grid for tests/CI",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already complete in the manifest (same config digest)",
+    )
+    sweep.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run manifest-complete cells and fail on state-digest mismatch",
+    )
+    shared = parser.add_argument_group("sweep/report shared options")
+    shared.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="run-manifest path (default: benchmarks/MANIFEST_sweep.jsonl)",
+    )
+    report = parser.add_argument_group("report options")
+    report.add_argument(
+        "--output",
+        metavar="PATH",
+        default="EXPERIMENTS.md",
+        help="document to write, or to diff against with --check "
+        "(default: %(default)s)",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate from the manifest and exit 1 if the committed "
+        "document differs (nothing is written)",
+    )
     return parser
+
+
+def _run_sweep_command(args) -> int:
+    """The ``sweep`` command body; returns the process exit code."""
+    from repro.bench.sweep import DEFAULT_MANIFEST, run_sweep
+
+    if args.faults:
+        print(
+            "error: --faults is not supported by sweep (fault plans are "
+            "process-global; use a single-figure command)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = run_sweep(
+            figures=args.figures,
+            scale=args.scale,
+            workers=args.workers,
+            manifest_path=args.manifest or DEFAULT_MANIFEST,
+            resume=args.resume,
+            verify=args.verify,
+            progress=print,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.failed:
+        print(
+            f"error: {len(result.failed)} cell(s) failed: "
+            + ", ".join(sorted(result.failed)),
+            file=sys.stderr,
+        )
+    if result.mismatched:
+        print(
+            f"error: {len(result.mismatched)} cell(s) mismatched a prior "
+            "manifest digest (determinism violation): "
+            + ", ".join(sorted(result.mismatched)),
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
+def _run_report_command(args) -> int:
+    """The ``report`` command body; returns the process exit code."""
+    from repro.bench.report import check_experiments_md, write_experiments_md
+    from repro.bench.sweep import DEFAULT_MANIFEST
+
+    manifest_path = args.manifest or DEFAULT_MANIFEST
+    try:
+        if args.check:
+            problems = check_experiments_md(args.output, manifest_path)
+            if problems:
+                print(
+                    f"error: {args.output} differs from the regeneration "
+                    f"out of {manifest_path}:",
+                    file=sys.stderr,
+                )
+                for line in problems[:60]:
+                    print(f"  {line}", file=sys.stderr)
+                if len(problems) > 60:
+                    print(f"  ... {len(problems) - 60} more lines", file=sys.stderr)
+                print(
+                    "regenerate with: python -m repro.bench report", file=sys.stderr
+                )
+                return 1
+            print(f"{args.output} matches the regeneration from {manifest_path}")
+            return 0
+        write_experiments_md(args.output, manifest_path)
+        print(f"wrote {args.output} from {manifest_path}")
+        return 0
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: List[str] = None) -> int:
@@ -245,7 +407,30 @@ def main(argv: List[str] = None) -> int:
         print("available experiments:")
         for name in sorted(EXPERIMENTS):
             print(f"  {name}")
+        print("orchestration: sweep, report (see --help)")
         return 0
+    if args.experiment == "report":
+        return _run_report_command(args)
+    if args.experiment == "sweep":
+        if args.trace or args.metrics:
+            from repro import obs
+
+            if args.trace:
+                obs.enable_tracing()
+            if args.metrics:
+                obs.enable_metrics()
+        code = _run_sweep_command(args)
+        if args.trace:
+            from repro import obs
+
+            events = obs.write_trace(args.trace)
+            print(f"trace: wrote {events} orchestrator events to {args.trace}")
+        if args.metrics:
+            from repro import obs
+            from repro.bench.report import metrics_table
+
+            metrics_table(obs.METRICS.snapshot()).show()
+        return code
     if args.trace or args.metrics:
         from repro import obs
 

@@ -1,0 +1,12 @@
+"""Per-figure experiment runners (paper Section 6).
+
+Each module reproduces one figure and exposes two sweep entry points on
+top of its inline runners:
+
+* ``enumerate_cells(scale)`` — every figure cell as an independent,
+  param-complete work unit (``scale="figure"`` for the paper grid,
+  ``"bench"`` for the shrunk CI grid);
+* ``run_sweep_cell(params)`` — run one enumerated cell, returning its
+  JSON-able payload row and the state that :mod:`repro.bench.sweep`
+  digests for cross-worker conformance.
+"""

@@ -71,7 +71,7 @@ def size_fig10_cell(
     }
 
 
-def run_config(
+def _run_config_with_stack(
     engine_kind: str,
     num_threads: int,
     shared_file: bool,
@@ -80,8 +80,8 @@ def run_config(
     total_accesses: int = DEFAULT_TOTAL_ACCESSES,
     device_kind: str = "pmem",
     batched: bool = True,
-) -> Dict:
-    """One (engine, threads, sharing, fit) cell of Figure 10."""
+):
+    """One Figure 10 cell; returns ``(row, stack, result)`` for digesting."""
     sizing = size_fig10_cell(
         num_threads, shared_file, in_memory, cache_pages, total_accesses
     )
@@ -111,7 +111,7 @@ def run_config(
     )
     result = run_microbench(stack.engine, files, config)
     latencies = result.merged_latencies()
-    return {
+    row = {
         "engine": stack.engine.name,
         "threads": num_threads,
         "throughput": result.throughput_ops_per_sec(),
@@ -121,6 +121,31 @@ def run_config(
         "p99_cycles": latencies.p99(),
         "p999_cycles": latencies.p999(),
     }
+    return row, stack, result
+
+
+def run_config(
+    engine_kind: str,
+    num_threads: int,
+    shared_file: bool,
+    in_memory: bool,
+    cache_pages: int = 2048,
+    total_accesses: int = DEFAULT_TOTAL_ACCESSES,
+    device_kind: str = "pmem",
+    batched: bool = True,
+) -> Dict:
+    """One (engine, threads, sharing, fit) cell of Figure 10."""
+    row, _, _ = _run_config_with_stack(
+        engine_kind,
+        num_threads,
+        shared_file,
+        in_memory,
+        cache_pages,
+        total_accesses,
+        device_kind,
+        batched,
+    )
+    return row
 
 
 def run_sweep(
@@ -165,3 +190,54 @@ def run_fig10b(thread_counts: Optional[List[int]] = None, cache_pages: int = 102
         "shared": run_sweep(True, False, thread_counts, cache_pages),
         "private": run_sweep(False, False, thread_counts, cache_pages),
     }
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Every Figure 10 cell as an independent sweep work unit.
+
+    Grid: variant (a: in-memory, b: out-of-memory) x shared/private file
+    x engine (linux, aquila) x thread count.  ``scale="figure"`` uses the
+    figure defaults (40960 accesses, 1-32 threads); ``scale="bench"``
+    shrinks the access budget and thread grid for tests and CI.  Params
+    fully determine the run — the cell's config digest is a pure function
+    of this dict.
+    """
+    if scale == "figure":
+        counts, total = DEFAULT_THREAD_COUNTS, DEFAULT_TOTAL_ACCESSES
+    else:
+        counts, total = [1, 4, 16], 4096
+    cells = []
+    for variant, in_memory, cache_pages in (("a", True, 2048), ("b", False, 1024)):
+        for shared in (True, False):
+            sharing = "shared" if shared else "private"
+            for engine_kind in ("linux", "aquila"):
+                for threads in counts:
+                    cells.append(
+                        {
+                            "cell_id": f"fig10{variant}/{sharing}/{engine_kind}/t{threads}",
+                            "figure": f"fig10{variant}",
+                            "params": {
+                                "engine_kind": engine_kind,
+                                "num_threads": threads,
+                                "shared_file": shared,
+                                "in_memory": in_memory,
+                                "cache_pages": cache_pages,
+                                "total_accesses": total,
+                            },
+                        }
+                    )
+    return cells
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated cell; returns its payload and full-state digest.
+
+    The state digest is the PR 3 conformance structure (thread clocks and
+    latency streams, page table, TLBs, cache page checksums, device
+    bytes, engine counters), so sharded and serial sweeps can be compared
+    bit for bit — Figure 10 is the sweep's correctness-oracle grid.
+    """
+    from repro.sim.conformance import mmio_state_digest
+
+    row, stack, result = _run_config_with_stack(**params)
+    return {"payload": row, "state": mmio_state_digest(stack, result)}

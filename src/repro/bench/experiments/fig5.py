@@ -143,3 +143,62 @@ def run_fig5b(
         "pmem": run_sweep("pmem", record_count, cache_pages, counts, ops_per_thread),
         "nvme": run_sweep("nvme", record_count, cache_pages, counts, ops_per_thread),
     }
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Every Figure 5 cell as an independent sweep work unit.
+
+    Grid: variant (a: in-cache, b: 4x the cache) x device (pmem, nvme)
+    x thread count x RocksDB mode (direct, mmap, aquila).  Params carry
+    the fully resolved sizing (record count, cache pages, ops) so the
+    config digest pins the exact run.
+    """
+    if scale == "figure":
+        counts, ops = [1, 4, 16], 300
+        records_a, records_b = 4096, 8192
+    else:
+        counts, ops = [1, 4], 150
+        records_a, records_b = 1024, 2048
+    cache_a = int((records_a // 4) * 1.3)   # fig5a: dataset + 30% headroom
+    cache_b = 512 if scale == "figure" else 128
+    cells = []
+    for variant, records, cache_pages in (
+        ("a", records_a, cache_a),
+        ("b", records_b, cache_b),
+    ):
+        for device in ("pmem", "nvme"):
+            for threads in counts:
+                for mode in MODES:
+                    cells.append(
+                        {
+                            "cell_id": f"fig5{variant}/{device}/t{threads}/{mode}",
+                            "figure": f"fig5{variant}",
+                            "params": {
+                                "mode": mode,
+                                "device_kind": device,
+                                "record_count": records,
+                                "cache_pages": cache_pages,
+                                "num_threads": threads,
+                                "ops_per_thread": ops,
+                            },
+                        }
+                    )
+    return cells
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated Figure 5 cell; the payload row is its state.
+
+    RocksDB cells digest their measured payload (throughput, latency
+    stats, op counts): the simulation is deterministic, so the payload is
+    a faithful — if coarse — fingerprint of the run.
+    """
+    row = run_cell(
+        params["mode"],
+        params["device_kind"],
+        params["record_count"],
+        params["cache_pages"],
+        params["num_threads"],
+        params["ops_per_thread"],
+    )
+    return {"payload": row, "state": row}

@@ -26,6 +26,11 @@ from repro.sim.executor import SimThread
 
 #: Footprint of a graph's heap in pages (offsets + targets + parents).
 def heap_pages_for(num_vertices: int, edge_factor: int) -> int:
+    """Pages needed for the CSR graph plus the BFS parent array.
+
+    8 bytes per offset/edge/parent entry, rounded up to whole pages with
+    a small slack for allocator headers.
+    """
     nbytes = 8 * (num_vertices + 1 + num_vertices * edge_factor + num_vertices)
     return units.pages(nbytes) + 8
 
@@ -151,3 +156,64 @@ def run_fig6c(num_vertices: int = 25000, num_threads: int = 16) -> Dict[str, Dic
     linux = run_bfs_config("linux", "pmem", num_vertices, num_threads, CACHE_FRACTION_8GB)
     aquila = run_bfs_config("aquila", "pmem", num_vertices, num_threads, CACHE_FRACTION_8GB)
     return {"linux": linux, "aquila": aquila}
+
+
+#: Engine/device bars of Figures 6(a)/(b), in display order.
+FIG6_CONFIGS = [
+    ("linux", "pmem"),
+    ("aquila", "pmem"),
+    ("linux", "nvme"),
+    ("aquila", "nvme"),
+    ("dram", "-"),
+]
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Every Figure 6 bar as an independent sweep work unit.
+
+    Grid: variant (a: cache ~44% of graph, b: ~89%) x engine/device
+    combination x thread count.  Figure 6(c)'s breakdown is derived from
+    the 16-thread variant-(a) cells, not enumerated separately.
+    """
+    if scale == "figure":
+        counts, vertices = [1, 8, 16], 25000
+    else:
+        counts, vertices = [1, 8], 4000
+    cells = []
+    for variant, fraction in (
+        ("a", CACHE_FRACTION_8GB),
+        ("b", CACHE_FRACTION_16GB),
+    ):
+        for engine_kind, device_kind in FIG6_CONFIGS:
+            label = engine_kind if engine_kind == "dram" else f"{engine_kind}-{device_kind}"
+            for threads in counts:
+                cells.append(
+                    {
+                        "cell_id": f"fig6{variant}/{label}/t{threads}",
+                        "figure": f"fig6{variant}",
+                        "params": {
+                            "engine_kind": engine_kind,
+                            "device_kind": device_kind,
+                            "num_vertices": vertices,
+                            "num_threads": threads,
+                            "cache_fraction": fraction,
+                        },
+                    }
+                )
+    return cells
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated Figure 6 bar; the payload row is its state.
+
+    The payload carries execution cycles, the user/system/idle split
+    (Figure 6(c)'s input) and the fault count for the configuration.
+    """
+    row = run_bfs_config(
+        params["engine_kind"],
+        params["device_kind"],
+        params["num_vertices"],
+        params["num_threads"],
+        params["cache_fraction"],
+    )
+    return {"payload": row, "state": row}

@@ -144,3 +144,41 @@ def run_fig7(
         / max(1.0, aquila["sections"]["cache_mgmt"]),
         "throughput_gain": aquila["throughput"] / max(1.0, direct["throughput"]),
     }
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Figure 7's two bars (explicit I/O, Aquila) as sweep work units.
+
+    The cache-management ratio and throughput gain are computed by the
+    report from the two cells jointly, so each mode stays an independent,
+    restartable unit.
+    """
+    if scale == "figure":
+        records, operations, cache_pages = 16384, 2000, 1024
+    else:
+        records, operations, cache_pages = 4096, 500, 256
+    return [
+        {
+            "cell_id": f"fig7/{mode}",
+            "figure": "fig7",
+            "params": {
+                "mode": mode,
+                "record_count": records,
+                "operations": operations,
+                "cache_pages": cache_pages,
+            },
+        }
+        for mode in ("direct", "aquila")
+    ]
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated Figure 7 mode; the payload (sans raw db stats
+    object) is its state.  Sections are trace-derived cycles per get."""
+    row = run_mode(
+        params["mode"],
+        params["record_count"],
+        params["operations"],
+        params["cache_pages"],
+    )
+    return {"payload": row, "state": row}

@@ -94,6 +94,7 @@ def run_fault_benchmark(
         "accesses": latencies.count,
         "breakdown": _per_fault_breakdown(result, max(1, latencies.count)),
         "stack": stack,
+        "_result": result,
     }
 
 
@@ -172,3 +173,116 @@ def _run_cache_hit(accesses: int) -> float:
     faults = stack.engine.faults - before_faults
     assert faults == count, "cache-hit pass should fault on every page"
     return elapsed / count
+
+
+#: Figure 8(c) device-access paths as (label, device_kind, io_path) rows.
+FIG8C_PATHS = [
+    ("DAX-pmem", "pmem", "dax"),
+    ("HOST-pmem", "pmem", "host"),
+    ("SPDK-NVMe", "nvme", "spdk"),
+    ("HOST-NVMe", "nvme", "host"),
+]
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Every Figure 8 bar as an independent sweep work unit.
+
+    Variants: (a) in-memory fault cost (linux/aquila), (b) eviction-path
+    fault cost (linux/aquila), (c) one cell per Aquila device-access path
+    plus the Cache-Hit cell.  ``scale="bench"`` shrinks access counts.
+    """
+    accesses_a = 800 if scale == "figure" else 200
+    accesses_c = 600 if scale == "figure" else 150
+    cache_b = 512 if scale == "figure" else 128
+    cells = []
+    for engine in ("linux", "aquila"):
+        cells.append(
+            {
+                "cell_id": f"fig8a/{engine}",
+                "figure": "fig8a",
+                "params": {
+                    "variant": "a",
+                    "engine_kind": engine,
+                    "accesses": accesses_a,
+                },
+            }
+        )
+        cells.append(
+            {
+                "cell_id": f"fig8b/{engine}",
+                "figure": "fig8b",
+                "params": {
+                    "variant": "b",
+                    "engine_kind": engine,
+                    "cache_pages": cache_b,
+                },
+            }
+        )
+    for label, device_kind, io_path in FIG8C_PATHS:
+        cells.append(
+            {
+                "cell_id": f"fig8c/{label}",
+                "figure": "fig8c",
+                "params": {
+                    "variant": "c",
+                    "label": label,
+                    "device_kind": device_kind,
+                    "io_path": io_path,
+                    "accesses": accesses_c,
+                },
+            }
+        )
+    cells.append(
+        {
+            "cell_id": "fig8c/Cache-Hit",
+            "figure": "fig8c",
+            "params": {"variant": "hit", "accesses": accesses_c},
+        }
+    )
+    return cells
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated Figure 8 cell; payload plus full-state digest.
+
+    Variants (a), (b) and (c) run the fault microbenchmark and digest the
+    complete end state with the PR 3 conformance machinery; the Cache-Hit
+    variant reports its mean fault cost (its payload is its state).
+    """
+    from repro.sim.conformance import mmio_state_digest
+
+    variant = params["variant"]
+    if variant == "hit":
+        mean = _run_cache_hit(params["accesses"])
+        payload = {"label": "Cache-Hit", "mean_access_cycles": mean}
+        return {"payload": payload, "state": payload}
+    if variant == "a":
+        accesses = params["accesses"]
+        dataset = accesses + 64
+        outcome = run_fault_benchmark(
+            params["engine_kind"], dataset, dataset + 64, accesses
+        )
+    elif variant == "b":
+        cache_pages = params["cache_pages"]
+        outcome = run_fault_benchmark(
+            params["engine_kind"],
+            cache_pages * 100 // 8,
+            cache_pages,
+            cache_pages * 3,
+            touch_once=False,
+        )
+    else:
+        accesses = params["accesses"]
+        dataset = accesses + 64
+        outcome = run_fault_benchmark(
+            "aquila",
+            dataset,
+            dataset + 64,
+            accesses,
+            device_kind=params["device_kind"],
+            io_path=params["io_path"],
+        )
+        outcome["label"] = params["label"]
+    stack = outcome.pop("stack")
+    result = outcome.pop("_result")
+    return {"payload": outcome, "state": mmio_state_digest(stack, result)}

@@ -102,3 +102,50 @@ def run_fig9(
                 }
             )
     return rows
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Every Figure 9 cell as an independent sweep work unit.
+
+    Grid: device (nvme, pmem) x YCSB workload (A-F) x engine (kmmap,
+    aquila).  Ratios are joins computed by the report, so each engine run
+    is its own restartable unit.
+    """
+    if scale == "figure":
+        records, cache_pages, operations = 8192, 1024, 1500
+        workloads = ALL_WORKLOADS
+    else:
+        records, cache_pages, operations = 2048, 256, 400
+        workloads = ["A", "C"]
+    cells = []
+    for device in ("nvme", "pmem"):
+        for workload in workloads:
+            for engine in ("kmmap", "aquila"):
+                cells.append(
+                    {
+                        "cell_id": f"fig9/{device}/{workload}/{engine}",
+                        "figure": "fig9",
+                        "params": {
+                            "engine_kind": engine,
+                            "device_kind": device,
+                            "workload": workload,
+                            "record_count": records,
+                            "cache_pages": cache_pages,
+                            "operations": operations,
+                        },
+                    }
+                )
+    return cells
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated Figure 9 cell; the payload row is its state."""
+    row = run_cell(
+        params["engine_kind"],
+        params["device_kind"],
+        params["workload"],
+        params["record_count"],
+        params["cache_pages"],
+        params["operations"],
+    )
+    return {"payload": row, "state": row}

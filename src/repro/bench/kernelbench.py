@@ -149,6 +149,7 @@ def check_regressions(report: Dict, baseline: Dict) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Kernel-benchmark CLI body; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.kernelbench",
         description="Benchmark the simulation kernel (batched vs unbatched).",

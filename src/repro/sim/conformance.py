@@ -56,6 +56,48 @@ def _sha(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()[:16]
 
 
+def canonical_bytes(obj) -> bytes:
+    """A canonical byte serialization of a digest structure.
+
+    Deterministic across processes and platforms: dict entries are sorted
+    by their serialized keys, tuples and lists serialize identically,
+    floats use ``repr`` (shortest round-tripping form, exact for the
+    integer-valued cycle counts the simulator produces), and bools/None
+    get JSON spellings.  Two digest structures serialize to the same
+    bytes iff they compare equal under tuple/list unification — which is
+    what lets a sweep worker in one process and a serial run in another
+    agree on a cell's state hash.
+    """
+    return _canon(obj).encode("utf-8")
+
+
+def _canon(obj) -> str:
+    if isinstance(obj, dict):
+        items = sorted((_canon(k), _canon(v)) for k, v in obj.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(_canon(v) for v in obj) + "]"
+    if isinstance(obj, bool):
+        return "true" if obj else "false"
+    if isinstance(obj, (int, float)):
+        return repr(obj)
+    if obj is None:
+        return "null"
+    import json
+
+    return json.dumps(str(obj))
+
+
+def hash_digest(digest) -> str:
+    """The sha256 hex of a digest structure's canonical serialization.
+
+    This is the per-cell state hash the sweep manifest records: equal
+    hashes mean bit-identical end state under :func:`canonical_bytes`
+    canonicalization, across processes, worker counts, and runs.
+    """
+    return hashlib.sha256(canonical_bytes(digest)).hexdigest()
+
+
 def _numeric_state(obj, exclude: frozenset = MODE_COUNTERS) -> Dict[str, float]:
     """Every public numeric attribute of ``obj`` (counters and sizes)."""
     state = {}
@@ -133,6 +175,22 @@ def _common_digest(stack, result, plan: Optional[FaultPlan]) -> Dict:
         "device": _device_digest(stack.device),
         "fault_schedule": plan.schedule() if plan is not None else None,
     }
+    return digest
+
+
+def mmio_state_digest(stack, result, plan: Optional[FaultPlan] = None) -> Dict:
+    """Full end-state digest of an mmio-engine run (the PR 3 oracle).
+
+    The same structure :func:`run_cell` digests — thread clocks and
+    latency streams, TLBs, engine counters, device bytes, page table and
+    cache contents — but over a caller-supplied ``stack`` and executor
+    ``result``, so sweep cells built by the figure runners can be
+    digested without re-running the workload.  Pass the digest to
+    :func:`hash_digest` for the manifest's state hash.
+    """
+    digest = _common_digest(stack, result, plan)
+    digest["page_table"] = _page_table_digest(stack.engine.page_table)
+    digest["cache"] = _mmio_cache_digest(stack.engine.cache, stack.engine._pool())
     return digest
 
 

@@ -1,0 +1,1 @@
+"""Sweep orchestrator, report generation, and CLI contract tests."""

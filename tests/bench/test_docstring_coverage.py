@@ -1,0 +1,69 @@
+"""Docstring-coverage gate for the public bench and sim APIs.
+
+CI runs ``interrogate --fail-under 80`` over ``src/repro/bench`` and
+``src/repro/sim``; this test enforces the same floor with the standard
+library only, so the gate also holds in environments without
+interrogate installed.  Counted: module docstrings and every public
+(non-underscore) top-level class, function, and method; nested
+functions are ignored, mirroring interrogate's
+``--ignore-private --ignore-nested-functions`` configuration.
+"""
+
+import ast
+import os
+
+FLOOR = 0.80
+ROOTS = ("src/repro/bench", "src/repro/sim")
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _iter_defs(tree):
+    """(node, name) for the module, top-level defs, and class methods."""
+    yield tree, "<module>"
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield node, node.name
+            if isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield sub, f"{node.name}.{sub.name}"
+
+
+def _is_public(name):
+    tail = name.rsplit(".", 1)[-1]
+    return tail == "<module>" or not tail.startswith("_")
+
+
+def collect():
+    """(documented, missing) across every module under the gated roots."""
+    documented, missing = [], []
+    for root in ROOTS:
+        for dirpath, _, filenames in os.walk(os.path.join(REPO, root)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path) as handle:
+                    tree = ast.parse(handle.read(), filename=path)
+                rel = os.path.relpath(path, REPO)
+                for node, name in _iter_defs(tree):
+                    if not _is_public(name):
+                        continue
+                    target = f"{rel}:{name}"
+                    if ast.get_docstring(node):
+                        documented.append(target)
+                    else:
+                        missing.append(target)
+    return documented, missing
+
+
+def test_public_api_docstring_coverage():
+    documented, missing = collect()
+    total = len(documented) + len(missing)
+    assert total > 100, "the walk should find the bench and sim APIs"
+    coverage = len(documented) / total
+    assert coverage >= FLOOR, (
+        f"docstring coverage {coverage:.1%} is below {FLOOR:.0%}; "
+        f"undocumented: {', '.join(missing[:20])}"
+        + (f" … and {len(missing) - 20} more" if len(missing) > 20 else "")
+    )

@@ -1,0 +1,58 @@
+"""Sharded sweeps must be bit-identical to the serial run.
+
+The tentpole determinism guarantee (DESIGN.md §9): a cell's state digest
+is a pure function of its params, independent of which worker ran it,
+in what order, or alongside what else.  We run the bench-scale Figure 10
+grid serially and at 2 and 4 workers and require identical per-cell
+digests (and therefore identical sweep digests).
+"""
+
+import pytest
+
+from repro.bench.sweep import enumerate_cells, run_sweep
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    manifest = tmp_path_factory.mktemp("serial") / "manifest.jsonl"
+    return run_sweep(
+        figures=["fig10"], scale="bench", workers=1, manifest_path=str(manifest)
+    )
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_sharded_matches_serial(serial, workers, tmp_path):
+    manifest = tmp_path / "manifest.jsonl"
+    sharded = run_sweep(
+        figures=["fig10"],
+        scale="bench",
+        workers=workers,
+        manifest_path=str(manifest),
+    )
+    assert sharded.ok and serial.ok
+    assert sharded.digests() == serial.digests()
+    assert sharded.sweep_digest == serial.sweep_digest
+    assert len(sharded.digests()) == len(enumerate_cells(["fig10"], "bench"))
+
+
+def test_cells_cover_every_figure():
+    cells = enumerate_cells(scale="bench")
+    figures = {cell["figure"] for cell in cells}
+    assert figures >= {"fig5a", "fig5b", "fig6a", "fig6b", "fig7",
+                       "fig8a", "fig8b", "fig8c", "fig9", "fig10a", "fig10b"}
+    ids = [cell["cell_id"] for cell in cells]
+    assert len(ids) == len(set(ids)), "cell ids must be unique"
+    digests = [cell["config_digest"] for cell in cells]
+    assert len(digests) == len(set(digests)), "config digests must be unique"
+
+
+def test_config_digest_is_param_pure():
+    first = enumerate_cells(["fig9"], "bench")
+    second = enumerate_cells(["fig9"], "bench")
+    assert [c["config_digest"] for c in first] == [
+        c["config_digest"] for c in second
+    ]
+    assert (
+        enumerate_cells(["fig9"], "figure")[0]["config_digest"]
+        != first[0]["config_digest"]
+    ), "scale changes params, so it must change the config digest"

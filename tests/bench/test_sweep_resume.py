@@ -1,0 +1,94 @@
+"""Crash a sweep mid-run, resume it, and get the same manifest back.
+
+The manifest is append-only JSONL with one fsync-ed line per cell, so a
+SIGKILL at any point loses at most the line being written.  ``--resume``
+must skip every manifest-complete cell and the finished manifest's
+deterministic content (cell ids, config digests, state digests, sweep
+digest) must equal an uninterrupted run's.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.bench.sweep import index_manifest, load_manifest, run_sweep, sweep_digest
+
+FIGURES = ["fig7"]   # 2 cells, each slow enough to interrupt
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.getcwd(), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _sweep_cmd(manifest, *extra):
+    return [
+        sys.executable, "-m", "repro.bench", "sweep",
+        "--figures", *FIGURES, "--scale", "bench",
+        "--manifest", str(manifest), *extra,
+    ]
+
+
+def test_resume_after_kill_completes_identically(tmp_path):
+    killed = tmp_path / "killed.jsonl"
+    reference = tmp_path / "reference.jsonl"
+
+    # Uninterrupted reference run (in-process, serial).
+    run_sweep(figures=FIGURES, scale="bench", manifest_path=str(reference))
+
+    # Start the same sweep in a subprocess and SIGKILL it as soon as the
+    # first cell record lands in the manifest.
+    proc = subprocess.Popen(
+        _sweep_cmd(killed),
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + 90
+    while time.time() < deadline:
+        if killed.exists() and any(
+            record.get("kind") == "cell" for record in load_manifest(str(killed))
+        ):
+            break
+        if proc.poll() is not None:
+            break
+        time.sleep(0.02)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait()
+
+    before = index_manifest(load_manifest(str(killed)))
+    assert before, "the kill landed before any cell completed; test is vacuous"
+
+    # Resume: completed cells are skipped, the rest run to completion.
+    result = run_sweep(
+        figures=FIGURES, scale="bench", manifest_path=str(killed), resume=True
+    )
+    assert result.ok
+    assert {entry["cell_id"] for entry in result.skipped} >= set(before)
+
+    resumed = index_manifest(load_manifest(str(killed)))
+    ref = index_manifest(load_manifest(str(reference)))
+    deterministic = ("cell_id", "figure", "runner", "config_digest", "state_digest")
+    assert {
+        cid: {k: rec[k] for k in deterministic} for cid, rec in resumed.items()
+    } == {cid: {k: rec[k] for k in deterministic} for cid, rec in ref.items()}
+    assert sweep_digest(resumed) == sweep_digest(ref)
+
+
+def test_truncated_final_line_is_tolerated(tmp_path):
+    manifest = tmp_path / "manifest.jsonl"
+    run_sweep(figures=FIGURES, scale="bench", manifest_path=str(manifest))
+    whole = load_manifest(str(manifest))
+    with open(manifest, "a") as handle:
+        handle.write('{"kind": "cell", "cell_id": "fig7/tr')   # torn write
+    assert load_manifest(str(manifest)) == whole
+    result = run_sweep(
+        figures=FIGURES, scale="bench", manifest_path=str(manifest), resume=True
+    )
+    assert result.ok and not result.entries, "all cells were already complete"
