@@ -209,6 +209,9 @@ examples:
   python -m repro.bench fig8c --faults "seed=42,error=0.01,latency=0.02"
   python -m repro.bench sweep --workers 4 --resume
   python -m repro.bench sweep --figures fig10 --scale bench --manifest /tmp/m.jsonl
+  python -m repro.bench sweep --dashboard               # live terminal dashboard
+  python -m repro.bench sweep --dashboard=log --profile # CI: log lines + profiles
+  python -m repro.bench sweep --openmetrics /tmp/om.txt # exposition-text dump
   python -m repro.bench report                  # regenerate EXPERIMENTS.md
   python -m repro.bench report --check          # fail (exit 1) on doc drift
 
@@ -303,6 +306,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run manifest-complete cells and fail on state-digest mismatch",
     )
+    sweep.add_argument(
+        "--dashboard",
+        nargs="?",
+        const="live",
+        choices=["live", "log"],
+        default=None,
+        help="render the sweep live: 'live' (default when flag is bare) is an "
+        "ANSI in-place view, 'log' prints deterministic one-line events for CI",
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each cell in cProfile and write content-addressed "
+        "pstats/hotspot artifacts under <manifest dir>/profiles",
+    )
+    sweep.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip per-cell telemetry snapshots in manifest records",
+    )
+    sweep.add_argument(
+        "--openmetrics",
+        metavar="PATH",
+        default=None,
+        help="after the sweep, dump the orchestrator metrics registry as "
+        "OpenMetrics-style text to PATH (requires --metrics)",
+    )
+    sweep.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="bench-trajectory JSONL to append the sweep record to "
+        "(default: BENCH_history.jsonl next to the manifest)",
+    )
+    sweep.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append a record to the bench-trajectory history",
+    )
     shared = parser.add_argument_group("sweep/report shared options")
     shared.add_argument(
         "--manifest",
@@ -329,7 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_sweep_command(args) -> int:
     """The ``sweep`` command body; returns the process exit code."""
+    import os
+
     from repro.bench.sweep import DEFAULT_MANIFEST, run_sweep
+    from repro.obs.dashboard import make_dashboard
 
     if args.faults:
         print(
@@ -338,15 +383,29 @@ def _run_sweep_command(args) -> int:
             file=sys.stderr,
         )
         return 2
+    manifest_path = args.manifest or DEFAULT_MANIFEST
+    if args.no_history:
+        history_path = None
+    else:
+        history_path = args.history or os.path.join(
+            os.path.dirname(manifest_path) or ".", "BENCH_history.jsonl"
+        )
+    dashboard = make_dashboard(args.dashboard)
+    # The live dashboard owns the terminal; progress lines would tear it.
+    progress = print if args.dashboard != "live" else (lambda message: None)
     try:
         result = run_sweep(
             figures=args.figures,
             scale=args.scale,
             workers=args.workers,
-            manifest_path=args.manifest or DEFAULT_MANIFEST,
+            manifest_path=manifest_path,
             resume=args.resume,
             verify=args.verify,
-            progress=print,
+            progress=progress,
+            telemetry=not args.no_telemetry,
+            profile=args.profile,
+            dashboard=dashboard,
+            history_path=history_path,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -412,6 +471,13 @@ def main(argv: List[str] = None) -> int:
     if args.experiment == "report":
         return _run_report_command(args)
     if args.experiment == "sweep":
+        if args.openmetrics and not args.metrics:
+            print(
+                "error: --openmetrics needs --metrics (the orchestrator "
+                "registry is otherwise disabled and empty)",
+                file=sys.stderr,
+            )
+            return 2
         if args.trace or args.metrics:
             from repro import obs
 
@@ -430,6 +496,11 @@ def main(argv: List[str] = None) -> int:
             from repro.bench.report import metrics_table
 
             metrics_table(obs.METRICS.snapshot()).show()
+        if args.openmetrics:
+            from repro import obs
+
+            lines = obs.write_openmetrics(args.openmetrics)
+            print(f"openmetrics: wrote {lines} lines to {args.openmetrics}")
         return code
     if args.trace or args.metrics:
         from repro import obs

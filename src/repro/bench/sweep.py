@@ -26,6 +26,20 @@ simulated cycle scale) and surfaced in the summary — never swallowed.
 A completed cell whose fresh state digest disagrees with a prior
 manifest entry for the same config is reported as a **mismatch** (a
 determinism violation) and fails the sweep.
+
+Telemetry (DESIGN.md §10): by default every cell executes inside
+isolated tracer/registry scopes and ships a structured telemetry
+snapshot (:mod:`repro.obs.events`) back through its manifest record —
+per-stage cycle attribution, metrics, histogram summaries, span counts,
+retries, wall time.  The isolation is the worker-reuse guarantee: a
+pooled process that runs many cells gives each one a fresh registry and
+span ring, so no counter can leak between cells.  Telemetry is
+observational — state digests are identical with it on or off — and its
+deterministic view is byte-identical across reruns of the same cell.
+``--profile`` additionally wraps each cell in cProfile and writes
+content-addressed artifacts next to the manifest
+(:mod:`repro.obs.profiling`); ``--dashboard`` renders the aggregation
+stream live (:mod:`repro.obs.dashboard`).
 """
 
 from __future__ import annotations
@@ -139,19 +153,85 @@ def _jsonable(obj):
     return json.loads(json.dumps(obj, default=str))
 
 
+def _run_cell_observed(cell: Dict, telemetry: bool, profile_dir: Optional[str]):
+    """Run a cell inside isolated obs scopes; returns (out, wall, extras).
+
+    The isolated tracer/registry scopes are the worker-reuse lifecycle
+    guarantee: each cell sees an empty span ring and an empty registry
+    (plus a freshly reset process-wide lock aggregate), and the outer
+    state — the orchestrator's own counters, in serial mode — is
+    restored untouched on exit.  Telemetry collection happens inside the
+    scope so the snapshot covers exactly this cell.
+    """
+    from repro import obs
+    from repro.obs import events as obs_events
+    from repro.obs import profiling as obs_profiling
+    from repro.sim.locks import LOCK_STATS
+
+    module = _module_for(cell["runner"])
+    extras: Dict = {}
+    with obs.TRACER.isolated(enable=True), obs.METRICS.isolated(enable=True):
+        LOCK_STATS.reset()
+        obs.METRICS.bind_object(
+            "locks",
+            LOCK_STATS,
+            {
+                "acquisitions": "acquisitions",
+                "contended": "contended",
+                "wait_cycles": "wait_cycles",
+            },
+        )
+        start = time.perf_counter()
+        if profile_dir:
+            out, profiler = obs_profiling.profile_call(
+                module.run_sweep_cell, dict(cell["params"])
+            )
+        else:
+            out = module.run_sweep_cell(dict(cell["params"]))
+        wall = time.perf_counter() - start
+        attribution = obs.CycleAttribution.from_tracer(obs.TRACER)
+        if telemetry:
+            snapshot = obs_events.collect_cell_telemetry(wall_seconds=wall)
+            extras["telemetry"] = _jsonable(snapshot)
+            extras["telemetry_digest"] = obs_events.telemetry_digest(snapshot)
+        if profile_dir:
+            extras["profile"] = obs_profiling.write_profile_artifacts(
+                profile_dir,
+                cell["config_digest"],
+                profiler,
+                hotspots=obs_profiling.span_hotspots(attribution),
+                cell_id=cell["cell_id"],
+            )
+    return out, wall, extras
+
+
 def _execute_cell(cell: Dict) -> Dict:
-    """One hermetic cell execution (no retry): reset ids, run, digest."""
+    """One hermetic cell execution (no retry): reset ids, run, digest.
+
+    Observability options ride in the cell dict's reserved ``obs`` key
+    (set by :func:`run_sweep`, never part of the config digest):
+    ``telemetry`` (default on) collects a per-cell snapshot inside
+    isolated obs scopes; ``profile_dir`` wraps the cell in cProfile and
+    writes content-addressed artifacts there.
+    """
     from repro.mmio.files import BackingFile
     from repro.sim.executor import SimThread
 
     SimThread.reset_ids()
     BackingFile.reset_ids()
-    module = _module_for(cell["runner"])
-    start = time.perf_counter()
-    out = module.run_sweep_cell(dict(cell["params"]))
-    wall = time.perf_counter() - start
+    opts = cell.get("obs") or {}
+    telemetry = opts.get("telemetry", True)
+    profile_dir = opts.get("profile_dir")
+    if telemetry or profile_dir:
+        out, wall, extras = _run_cell_observed(cell, telemetry, profile_dir)
+    else:
+        module = _module_for(cell["runner"])
+        start = time.perf_counter()
+        out = module.run_sweep_cell(dict(cell["params"]))
+        wall = time.perf_counter() - start
+        extras = {}
     state = out["state"] if out.get("state") is not None else out["payload"]
-    return {
+    record = {
         "kind": "cell",
         "cell_id": cell["cell_id"],
         "figure": cell["figure"],
@@ -162,6 +242,8 @@ def _execute_cell(cell: Dict) -> Dict:
         "wall_seconds": round(wall, 6),
         "status": "ok",
     }
+    record.update(extras)
+    return record
 
 
 def run_unit(cell: Dict) -> Dict:
@@ -292,6 +374,10 @@ def run_sweep(
     resume: bool = False,
     verify: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    telemetry: bool = True,
+    profile: bool = False,
+    dashboard=None,
+    history_path: Optional[str] = None,
 ) -> SweepResult:
     """Run the paper sweep; returns a :class:`SweepResult`.
 
@@ -302,10 +388,19 @@ def run_sweep(
     are compared against the manifest (mismatches fail the sweep).
     Completed cells append to ``manifest_path`` immediately (one fsynced
     JSON line each); a summary record lands at the end.
+
+    ``telemetry`` (default on) ships a per-cell obs snapshot in each
+    record; ``profile`` writes cProfile + hotspot artifacts under
+    ``<manifest dir>/profiles``; ``dashboard`` is a
+    :class:`repro.obs.dashboard.SweepDashboard` fed the aggregation
+    stream; ``history_path``, when set, appends a ``kind: "sweep"``
+    trajectory record to that JSONL file after the summary.
     """
     from repro import obs
+    from repro.obs.dashboard import SweepDashboard
 
     say = progress if progress is not None else (lambda message: None)
+    dash = dashboard if dashboard is not None else SweepDashboard()
     cells = enumerate_cells(figures, scale)
     prior_records: List[Dict] = []
     resuming = resume and os.path.exists(manifest_path)
@@ -324,10 +419,17 @@ def run_sweep(
             result.skipped.append(prev)
         else:
             to_run.append(cell)
+    profile_dir = None
+    if profile:
+        profile_dir = os.path.join(os.path.dirname(manifest_path) or ".", "profiles")
+    for cell in to_run:
+        # Reserved key, never part of the config digest (computed above).
+        cell["obs"] = {"telemetry": telemetry, "profile_dir": profile_dir}
     say(
         f"sweep: {len(cells)} cells ({len(result.skipped)} complete in manifest, "
         f"{len(to_run)} to run), {result.workers} worker(s), scale={scale}"
     )
+    dash.start(len(cells), len(to_run), len(result.skipped), result.workers, scale)
 
     clock = WallClock()
     completed_counter = obs.METRICS.counter(
@@ -350,6 +452,7 @@ def run_sweep(
     def handle(entry: Dict, handle_file) -> None:
         _append(handle_file, entry)
         result.entries.append(entry)
+        dash.cell_finished(entry)
         if entry["status"] != "ok":
             result.failed.append(entry["cell_id"])
             failed_counter.inc()
@@ -397,6 +500,7 @@ def run_sweep(
         )
         if result.workers <= 1:
             for cell in to_run:
+                dash.cell_submitted(cell["cell_id"])
                 handle(run_unit(cell), handle_file)
         else:
             import multiprocessing as mp
@@ -407,7 +511,10 @@ def run_sweep(
             with ProcessPoolExecutor(
                 max_workers=result.workers, mp_context=ctx
             ) as pool:
-                futures = [pool.submit(run_unit, cell) for cell in to_run]
+                futures = []
+                for cell in to_run:
+                    futures.append(pool.submit(run_unit, cell))
+                    dash.cell_submitted(cell["cell_id"])
                 for future in as_completed(futures):
                     handle(future.result(), handle_file)
 
@@ -428,6 +535,9 @@ def run_sweep(
                 "sweep_digest": result.sweep_digest,
             },
         )
+    dash.finish(result)
+    if history_path:
+        append_sweep_history(history_path, result, scale=scale)
     say(
         f"sweep: {len(result.entries)} ran, {len(result.skipped)} skipped, "
         f"{len(result.failed)} failed, {len(result.mismatched)} mismatched in "
@@ -435,3 +545,45 @@ def run_sweep(
         f"digest {result.sweep_digest[:16]}"
     )
     return result
+
+
+def append_sweep_history(history_path: str, result: SweepResult, scale: str) -> Dict:
+    """Append one ``kind: "sweep"`` trajectory record; returns the record.
+
+    The record aggregates per-cell telemetry into sweep-level stage
+    cycles/shares (:func:`repro.obs.events.merge_stage_cycles`) so
+    consecutive records in ``BENCH_history.jsonl`` can be diffed to
+    attribute a wall-time or digest shift to the stage that moved.
+    """
+    from repro.obs import events as obs_events
+
+    snapshots = [
+        entry["telemetry"]
+        for entry in result.entries
+        if entry.get("status") == "ok" and entry.get("telemetry")
+    ]
+    stage_cycles = obs_events.merge_stage_cycles(snapshots)
+    record = {
+        "kind": "sweep",
+        "schema": MANIFEST_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": scale,
+        "workers": result.workers,
+        "sweep_digest": result.sweep_digest,
+        "cells_ran": len(result.entries),
+        "cells_skipped": len(result.skipped),
+        "cells_failed": sorted(result.failed),
+        "cells_mismatched": sorted(result.mismatched),
+        "wall_seconds": round(result.wall_seconds, 6),
+        "cpu_seconds": round(result.cpu_seconds, 6),
+        "stage_cycles": stage_cycles,
+        "stage_shares": obs_events.stage_shares(
+            {"attribution": {"stages": stage_cycles}}
+        ),
+    }
+    directory = os.path.dirname(history_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(history_path, "a") as handle:
+        _append(handle, record)
+    return record

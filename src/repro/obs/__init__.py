@@ -29,6 +29,17 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.attribution import CycleAttribution
+from repro.obs.events import (
+    DEFAULT_STAGE_RULES,
+    TELEMETRY_SCHEMA,
+    attribute_shift,
+    collect_cell_telemetry,
+    deterministic_view,
+    stage_shares,
+    telemetry_bytes,
+    telemetry_digest,
+)
+from repro.obs.exposition import render_openmetrics, render_snapshot, write_openmetrics
 from repro.obs.metrics import (
     COUNTER_WRAP,
     DEFAULT_CYCLE_BUCKETS,
@@ -45,7 +56,9 @@ __all__ = [
     "COUNTER_WRAP",
     "DEFAULT_CAPACITY",
     "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_STAGE_RULES",
     "METRICS",
+    "TELEMETRY_SCHEMA",
     "TRACER",
     "Counter",
     "Gauge",
@@ -53,11 +66,20 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "attribute_shift",
+    "collect_cell_telemetry",
+    "deterministic_view",
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
     "enable_metrics",
     "disable_metrics",
+    "render_openmetrics",
+    "render_snapshot",
+    "stage_shares",
+    "telemetry_bytes",
+    "telemetry_digest",
+    "write_openmetrics",
     "write_trace",
 ]
 

@@ -1,0 +1,225 @@
+"""Live in-terminal dashboard for the multiprocess sweep.
+
+``repro.bench sweep --dashboard`` renders the orchestrator's aggregation
+stream as it arrives: cells done/running/failed, per-worker utilization
+(busy cell-seconds per worker pid over elapsed wall time), retry storms
+(extra attempts spent), and an ETA extrapolated from completed-cell wall
+times.  Two modes:
+
+* :class:`LiveDashboard` — ANSI redraw-in-place for humans at a TTY;
+* :class:`LogDashboard` — ``--dashboard=log``: one plain line per event
+  with **no wall times, rates or ETA**, so a serial CI sweep's dashboard
+  output is byte-deterministic (with workers > 1 only completion order
+  can vary, never line content for a given cell).
+
+Both consume the same event protocol from
+:func:`repro.bench.sweep.run_sweep`: ``start`` once, ``cell_submitted``
+when a unit is handed to a worker, ``cell_finished`` per manifest
+record, ``finish`` once with the :class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional, Set, TextIO
+
+
+class SweepDashboard:
+    """Event-protocol base; subclasses render.  All hooks are optional."""
+
+    def start(self, total: int, to_run: int, skipped: int, workers: int, scale: str) -> None:
+        """One sweep begins: cell counts, pool width, scale."""
+
+    def cell_submitted(self, cell_id: str) -> None:
+        """A unit was handed to a worker (or started, when serial)."""
+
+    def cell_finished(self, entry: Dict) -> None:
+        """A manifest record arrived for a finished cell."""
+
+    def finish(self, result) -> None:
+        """The sweep ended; ``result`` is a SweepResult."""
+
+
+class LogDashboard(SweepDashboard):
+    """Deterministic line-per-event mode for CI (``--dashboard=log``)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self._total = 0
+        self._done = 0
+        self._failed = 0
+        self._retries = 0
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+
+    def start(self, total: int, to_run: int, skipped: int, workers: int, scale: str) -> None:
+        """Header line with the deterministic run parameters."""
+        self._total = to_run
+        self._emit(
+            f"[dash] start cells={total} to_run={to_run} skipped={skipped} "
+            f"workers={workers} scale={scale}"
+        )
+
+    def cell_finished(self, entry: Dict) -> None:
+        """One line per cell: id, status, attempts, running tally."""
+        status = entry.get("status", "?")
+        attempts = entry.get("attempts", 1)
+        self._done += 1
+        if status != "ok":
+            self._failed += 1
+        self._retries += max(0, attempts - 1)
+        line = (
+            f"[dash] cell {entry['cell_id']} {status} attempts={attempts} "
+            f"done={self._done}/{self._total} failed={self._failed}"
+        )
+        telemetry = entry.get("telemetry")
+        if telemetry:
+            spans = telemetry.get("spans", {}).get("finished", 0)
+            total_cycles = telemetry.get("attribution", {}).get("total_cycles", 0)
+            line += f" spans={spans} cycles={total_cycles:.0f}"
+        self._emit(line)
+
+    def finish(self, result) -> None:
+        """Deterministic summary: counts and sorted failure/mismatch lists."""
+        self._emit(
+            f"[dash] finish ok={sum(1 for e in result.entries if e['status'] == 'ok')} "
+            f"skipped={len(result.skipped)} failed={len(result.failed)} "
+            f"mismatched={len(result.mismatched)} retries={self._retries}"
+        )
+        for cell_id in sorted(result.failed):
+            self._emit(f"[dash] failed {cell_id}")
+        for cell_id in sorted(result.mismatched):
+            self._emit(f"[dash] mismatched {cell_id}")
+
+
+class LiveDashboard(SweepDashboard):
+    """ANSI redraw-in-place view with utilization, retries and ETA."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        refresh_seconds: float = 0.2,
+        max_worker_rows: int = 8,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.refresh_seconds = refresh_seconds
+        self.max_worker_rows = max_worker_rows
+        self._start_wall = 0.0
+        self._total = 0
+        self._to_run = 0
+        self._skipped = 0
+        self._workers = 1
+        self._done = 0
+        self._failed = 0
+        self._retries = 0
+        self._running: Set[str] = set()
+        self._busy_seconds: Dict[int, float] = {}
+        self._cells_by_worker: Dict[int, int] = {}
+        self._wall_samples: List[float] = []
+        self._last_line = ""
+        self._last_render = 0.0
+        self._rendered_lines = 0
+
+    # -- event protocol -------------------------------------------------------
+
+    def start(self, total: int, to_run: int, skipped: int, workers: int, scale: str) -> None:
+        """Reset state and draw the first frame."""
+        self._start_wall = time.perf_counter()
+        self._total, self._to_run, self._skipped = total, to_run, skipped
+        self._workers = workers
+        self._render(force=True)
+
+    def cell_submitted(self, cell_id: str) -> None:
+        """Mark a cell in flight (bounded by the pool width when pooled)."""
+        self._running.add(cell_id)
+        self._render()
+
+    def cell_finished(self, entry: Dict) -> None:
+        """Fold a finished cell into counts, utilization and the ETA."""
+        self._running.discard(entry["cell_id"])
+        self._done += 1
+        if entry.get("status") != "ok":
+            self._failed += 1
+            self._last_line = f"FAILED {entry['cell_id']}: {entry.get('error', '?')}"
+        else:
+            wall = entry.get("wall_seconds", 0.0)
+            self._wall_samples.append(wall)
+            pid = entry.get("worker_pid", 0)
+            self._busy_seconds[pid] = self._busy_seconds.get(pid, 0.0) + wall
+            self._cells_by_worker[pid] = self._cells_by_worker.get(pid, 0) + 1
+            self._last_line = f"ok {entry['cell_id']}  {wall:.2f}s"
+        self._retries += max(0, entry.get("attempts", 1) - 1)
+        self._render()
+
+    def finish(self, result) -> None:
+        """Draw the final frame and leave the cursor on a fresh line."""
+        self._last_line = (
+            f"sweep digest {result.sweep_digest[:16]}"
+            if result.sweep_digest
+            else self._last_line
+        )
+        self._render(force=True)
+        print(file=self.stream, flush=True)
+
+    # -- rendering ------------------------------------------------------------
+
+    def _eta_seconds(self) -> Optional[float]:
+        if not self._wall_samples:
+            return None
+        remaining = self._to_run - self._done
+        if remaining <= 0:
+            return 0.0
+        mean_wall = sum(self._wall_samples) / len(self._wall_samples)
+        return remaining * mean_wall / max(1, self._workers)
+
+    def _frame(self) -> List[str]:
+        elapsed = max(1e-9, time.perf_counter() - self._start_wall)
+        bar_width = 24
+        frac = self._done / self._to_run if self._to_run else 1.0
+        filled = int(round(bar_width * frac))
+        bar = "#" * filled + "-" * (bar_width - filled)
+        eta = self._eta_seconds()
+        eta_text = f"eta ~{eta:.1f}s" if eta is not None else "eta --"
+        lines = [
+            f"sweep   [{bar}] {self._done}/{self._to_run} done  "
+            f"{len(self._running)} running  {self._failed} failed  "
+            f"{self._skipped} skipped  {eta_text}",
+            f"retries {self._retries} extra attempt(s)"
+            + ("  << retry storm" if self._retries > max(4, self._to_run // 4) else ""),
+        ]
+        workers = sorted(self._busy_seconds)[: self.max_worker_rows]
+        for pid in workers:
+            busy = self._busy_seconds[pid]
+            lines.append(
+                f"worker {pid}: {self._cells_by_worker[pid]} cell(s), "
+                f"{busy:.1f}s busy ({min(100.0, 100.0 * busy / elapsed):.0f}% util)"
+            )
+        if self._last_line:
+            lines.append(f"last    {self._last_line}")
+        return lines
+
+    def _render(self, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.refresh_seconds:
+            return
+        self._last_render = now
+        if self._rendered_lines:
+            # Move to the top of the previous frame and clear downward.
+            self.stream.write(f"\x1b[{self._rendered_lines}F\x1b[J")
+        lines = self._frame()
+        self.stream.write("\n".join(lines) + "\n")
+        self.stream.flush()
+        self._rendered_lines = len(lines)
+
+
+def make_dashboard(mode: Optional[str]) -> Optional[SweepDashboard]:
+    """Dashboard factory for the CLI: None, "live", or "log"."""
+    if mode is None:
+        return None
+    if mode == "log":
+        return LogDashboard()
+    if mode == "live":
+        return LiveDashboard()
+    raise ValueError(f"unknown dashboard mode {mode!r} (use 'live' or 'log')")

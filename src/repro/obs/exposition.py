@@ -1,0 +1,128 @@
+"""OpenMetrics-style text exposition of the metrics registry.
+
+Point-in-time dumps in the de-facto text format (the subset shared by
+Prometheus and OpenMetrics): ``# HELP``/``# TYPE`` comments, counters
+suffixed ``_total``, histograms as cumulative ``_bucket{le="..."}``
+series plus ``_count``/``_sum``, and a terminating ``# EOF`` line.  Dots
+in the registry's metric paths become underscores (``engine.aquila.hits``
+-> ``engine_aquila_hits``), which keeps names legal for any scraper.
+
+Zero dependencies and purely observational — this renders whatever the
+registry holds, it never mutates it.  The output is sorted by metric
+name, so two dumps of the same registry state are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """A registry path as a legal exposition metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _help_line(name: str, help_text: str) -> List[str]:
+    if not help_text:
+        return []
+    return [f"# HELP {name} {help_text}".replace("\n", " ")]
+
+
+def _histogram_lines(name: str, histogram: Histogram) -> List[str]:
+    lines = _help_line(name, histogram.help) + [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for bound, count in zip(histogram.buckets, histogram.counts[:-1]):
+        cumulative += count
+        lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+    cumulative += histogram.counts[-1]
+    lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{name}_count {histogram.count}")
+    lines.append(f"{name}_sum {_format_value(histogram.sum)}")
+    return lines
+
+
+def render_openmetrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry's current state as OpenMetrics-style text.
+
+    Counters render as ``<name>_total`` with ``# TYPE ... counter``,
+    gauges and pull probes as gauges (a probe that raises is skipped —
+    same tolerance as :meth:`MetricsRegistry.snapshot`), histograms as
+    cumulative bucket series.  Ends with ``# EOF``.
+    """
+    registry = registry if registry is not None else METRICS
+    lines: List[str] = []
+    for name, metric in registry.iter_metrics():
+        exposition = metric_name(name)
+        if isinstance(metric, Counter):
+            lines += _help_line(exposition, metric.help)
+            lines.append(f"# TYPE {exposition} counter")
+            lines.append(f"{exposition}_total {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines += _help_line(exposition, metric.help)
+            lines.append(f"# TYPE {exposition} gauge")
+            lines.append(f"{exposition} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines += _histogram_lines(exposition, metric)
+    for name, fn in registry.iter_probes():
+        exposition = metric_name(name)
+        try:
+            value = fn()
+        except Exception:
+            continue
+        if not isinstance(value, (int, float)):
+            continue
+        lines.append(f"# TYPE {exposition} gauge")
+        lines.append(f"{exposition} {_format_value(float(value))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def render_snapshot(snapshot: Dict[str, Any]) -> str:
+    """A plain :meth:`MetricsRegistry.snapshot` dict as exposition text.
+
+    For rendering telemetry that crossed a process boundary (a manifest
+    row's ``telemetry.metrics``), where the Counter/Gauge distinction is
+    gone: numbers render as untyped gauges, histogram dumps (dicts with
+    ``buckets``) as cumulative bucket series, ``None`` probes are
+    skipped.
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.items()):
+        exposition = metric_name(name)
+        if isinstance(value, dict) and "buckets" in value:
+            lines.append(f"# TYPE {exposition} histogram")
+            cumulative = 0
+            for bound, count in value["buckets"]:
+                cumulative += count
+                lines.append(f'{exposition}_bucket{{le="{bound:g}"}} {cumulative}')
+            cumulative += value.get("overflow", 0)
+            lines.append(f'{exposition}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{exposition}_count {value['count']}")
+            lines.append(f"{exposition}_sum {_format_value(value['sum'])}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"# TYPE {exposition} gauge")
+            lines.append(f"{exposition} {_format_value(float(value))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str, registry: Optional[MetricsRegistry] = None) -> int:
+    """Write the registry exposition to ``path``; returns line count."""
+    text = render_openmetrics(registry)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text.count("\n")

@@ -23,7 +23,8 @@ construction get a ``#N`` suffix so snapshots stay unambiguous.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: Counters wrap like 64-bit hardware counters rather than growing
 #: unboundedly (and so that overflow semantics are defined and testable).
@@ -131,6 +132,54 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
 
+    def mean(self) -> Optional[float]:
+        """Mean of all observations, or ``None`` on an empty histogram."""
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        The estimate interpolates linearly inside the bucket holding the
+        target rank (between the previous bound — or 0 for the first
+        bucket — and the bucket's own bound), which is the resolution a
+        fixed-bucket histogram has.  Edge cases are defined rather than
+        surprising: an empty histogram returns ``None``; a single sample
+        returns its bucket estimate for every ``q`` (so p50 == p999); a
+        rank landing in the overflow bucket returns the last finite
+        bound, the only honest lower bound available.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return None
+        rank = max(1.0, q * self.count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            before = cumulative
+            cumulative += bucket_count
+            if cumulative + 1e-12 >= rank:
+                if index >= len(self.buckets):   # overflow slot
+                    return self.buckets[-1]
+                low = self.buckets[index - 1] if index > 0 else 0.0
+                high = self.buckets[index]
+                fraction = (rank - before) / bucket_count
+                return low + fraction * (high - low)
+        return self.buckets[-1]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Count, sum, mean and the standard tail quantile estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
     def as_dict(self) -> Dict[str, Any]:
         """Snapshot form: bounds, per-bucket counts, count and sum."""
         return {
@@ -165,6 +214,23 @@ class MetricsRegistry:
         self._metrics = {}
         self._probes = {}
         self._prefixes = {}
+
+    @contextmanager
+    def isolated(self, enable: bool = True):
+        """A scope with a fresh, private registry state; prior state restored.
+
+        Sweep workers wrap each cell in this so a reused pooled process
+        starts every cell with an empty registry (no counter leakage
+        across cells) while the orchestrator's own counters — created in
+        the outer state — survive untouched in serial mode.
+        """
+        saved = (self.enabled, self._metrics, self._probes, self._prefixes)
+        self.enabled = enable
+        self._metrics, self._probes, self._prefixes = {}, {}, {}
+        try:
+            yield self
+        finally:
+            self.enabled, self._metrics, self._probes, self._prefixes = saved
 
     # -- push metrics ------------------------------------------------------------
 
@@ -233,6 +299,22 @@ class MetricsRegistry:
             self._probes[f"{prefix}.{suffix}"] = fn
 
     # -- collection ---------------------------------------------------------------
+
+    def iter_metrics(self) -> Iterator[Tuple[str, Union[Counter, Gauge, Histogram]]]:
+        """``(name, metric)`` pairs for every push metric, sorted by name."""
+        return iter(sorted(self._metrics.items()))
+
+    def iter_probes(self) -> Iterator[Tuple[str, Callable[[], float]]]:
+        """``(name, fn)`` pairs for every registered probe, sorted by name."""
+        return iter(sorted(self._probes.items()))
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name -> :class:`Histogram` for every registered histogram."""
+        return {
+            name: metric
+            for name, metric in self._metrics.items()
+            if isinstance(metric, Histogram)
+        }
 
     def snapshot(self) -> Dict[str, Any]:
         """Every metric's current value, sorted by name.

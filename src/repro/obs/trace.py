@@ -23,12 +23,18 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.common import units
 
 #: Default ring-buffer capacity (finished spans retained).
 DEFAULT_CAPACITY = 1 << 17
+
+#: Chrome-trace process name for the simulated process.  A fixed string
+#: (never the OS pid): trace bytes must be identical across runs and
+#: across which worker process produced them.
+PROCESS_NAME = "repro-sim"
 
 
 class _NoopSpan:
@@ -153,6 +159,45 @@ class Tracer:
         self._tracks = []
         self._current = None
 
+    @contextmanager
+    def isolated(self, enable: bool = True, capacity: Optional[int] = None):
+        """A scope with a fresh, private tracer state; prior state restored.
+
+        Used by sweep workers to give every cell its own span stream: on
+        entry the ring, tracks and counters are saved and replaced by
+        empty ones (and the tracer enabled per ``enable``); on exit the
+        saved state — including the enabled flag — comes back exactly,
+        so a reused pooled process cannot leak spans across cells and an
+        in-process orchestrator keeps its own spans.  The epoch bump on
+        both edges invalidates clock track ids minted inside the scope.
+        """
+        saved = (
+            self.enabled,
+            self.capacity,
+            self.dropped,
+            self.total_finished,
+            self.noop_requests,
+            self._ring,
+            self._tracks,
+            self._current,
+        )
+        self.reset(capacity=capacity)
+        self.enabled = enable
+        try:
+            yield self
+        finally:
+            (
+                self.enabled,
+                self.capacity,
+                self.dropped,
+                self.total_finished,
+                self.noop_requests,
+                self._ring,
+                self._tracks,
+                self._current,
+            ) = saved
+            self.epoch += 1
+
     # -- span lifecycle ----------------------------------------------------------
 
     def span(self, name: str, clock=None):
@@ -220,60 +265,90 @@ class Tracer:
 
     # -- Chrome trace-event export -------------------------------------------------
 
+    def iter_chrome_events(self) -> Iterator[Dict[str, Any]]:
+        """Yield Chrome ``trace_event`` objects one at a time.
+
+        Metadata first — a ``process_name`` event naming the simulated
+        process and one ``thread_name`` per registered track — then one
+        ``ph: "X"`` complete event per retained span.  Timestamps are
+        simulated microseconds (cycles at 2.4 GHz), one ``tid`` per
+        simulated thread, with the span's cycle totals and per-category
+        charges in ``args``.  Streaming the ring this way lets the
+        export run at O(1) extra memory however many spans are retained.
+        """
+        yield {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": PROCESS_NAME},
+        }
+        for tid, name in enumerate(self._tracks):
+            yield {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        for span in self._ring:
+            yield {
+                "name": span.name,
+                "cat": "sim",
+                "ph": "X",
+                "pid": 0,
+                "tid": span.track,
+                "ts": round(units.cycles_to_us(span.begin), 6),
+                "dur": round(units.cycles_to_us(span.duration), 6),
+                "args": {
+                    "cycles": round(span.duration, 2),
+                    "self_cycles": round(span.self_cycles, 2),
+                    "charges": {
+                        category: round(cycles, 2)
+                        for category, cycles in sorted(span.charges.items())
+                    },
+                },
+            }
+
+    def _other_data(self) -> Dict[str, Any]:
+        return {
+            "clock": f"simulated cycles at {units.CPU_FREQ_HZ / 1e9:.1f} GHz",
+            "dropped_spans": self.dropped,
+            "total_spans": self.total_finished,
+        }
+
     def to_chrome_trace(self) -> Dict[str, Any]:
         """The retained spans as a Chrome ``trace_event`` JSON object.
 
-        Timestamps are simulated microseconds (cycles at 2.4 GHz), one
-        ``tid`` per simulated thread, ``ph: "X"`` complete events with the
-        span's cycle totals and per-category charges in ``args``.
+        Materializes :meth:`iter_chrome_events`; prefer
+        :meth:`write_chrome_trace` for large rings, which streams events
+        to disk instead of buffering the whole trace.
         """
-        events: List[Dict[str, Any]] = []
-        for tid, name in enumerate(self._tracks):
-            events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": 0,
-                    "tid": tid,
-                    "args": {"name": name},
-                }
-            )
-        for span in self._ring:
-            events.append(
-                {
-                    "name": span.name,
-                    "cat": "sim",
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": span.track,
-                    "ts": round(units.cycles_to_us(span.begin), 6),
-                    "dur": round(units.cycles_to_us(span.duration), 6),
-                    "args": {
-                        "cycles": round(span.duration, 2),
-                        "self_cycles": round(span.self_cycles, 2),
-                        "charges": {
-                            category: round(cycles, 2)
-                            for category, cycles in sorted(span.charges.items())
-                        },
-                    },
-                }
-            )
         return {
-            "traceEvents": events,
+            "traceEvents": list(self.iter_chrome_events()),
             "displayTimeUnit": "ns",
-            "otherData": {
-                "clock": f"simulated cycles at {units.CPU_FREQ_HZ / 1e9:.1f} GHz",
-                "dropped_spans": self.dropped,
-                "total_spans": self.total_finished,
-            },
+            "otherData": self._other_data(),
         }
 
     def write_chrome_trace(self, path: str) -> int:
-        """Write the Chrome trace JSON to ``path``; returns event count."""
-        trace = self.to_chrome_trace()
+        """Stream the Chrome trace JSON to ``path``; returns event count.
+
+        Events are serialized one at a time straight to the file, so a
+        long traced run (a sweep cell with ``--trace``) exports with
+        bounded RSS — the whole-trace JSON string is never built in
+        memory.
+        """
+        count = 0
         with open(path, "w") as handle:
-            json.dump(trace, handle, separators=(",", ":"))
-        return len(trace["traceEvents"])
+            handle.write('{"traceEvents":[')
+            for event in self.iter_chrome_events():
+                if count:
+                    handle.write(",")
+                json.dump(event, handle, separators=(",", ":"))
+                count += 1
+            handle.write('],"displayTimeUnit":"ns","otherData":')
+            json.dump(self._other_data(), handle, separators=(",", ":"))
+            handle.write("}")
+        return count
 
 
 #: The process-wide tracer every instrumented path reports to.

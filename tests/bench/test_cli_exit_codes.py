@@ -35,6 +35,12 @@ def test_help_documents_every_flag(capsys):
         "--scale",
         "--resume",
         "--verify",
+        "--dashboard",
+        "--profile",
+        "--no-telemetry",
+        "--openmetrics",
+        "--history",
+        "--no-history",
         "--manifest",
         "--output",
         "--check",

@@ -1,0 +1,148 @@
+"""Bench-trajectory tracker: history records, stage shares, regression attribution."""
+
+import json
+
+import pytest
+
+from repro.obs import METRICS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def _globals_off():
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+
+
+class TestSweepHistory:
+    def test_sweep_appends_kind_sweep_record(self, tmp_path):
+        from repro.bench.sweep import run_sweep
+
+        history = tmp_path / "BENCH_history.jsonl"
+        result = run_sweep(
+            figures=["fig8c"],
+            scale="bench",
+            workers=1,
+            manifest_path=str(tmp_path / "m.jsonl"),
+            history_path=str(history),
+        )
+        assert result.ok
+        records = [json.loads(line) for line in history.read_text().splitlines()]
+        assert len(records) == 1
+        record = records[0]
+        assert record["kind"] == "sweep"
+        assert record["sweep_digest"] == result.sweep_digest
+        assert record["cells_ran"] == len(result.entries)
+        assert record["cells_failed"] == []
+        assert sum(record["stage_cycles"].values()) > 0
+        assert record["stage_shares"]["fault_path"] > 0
+
+    def test_history_stage_cycles_deterministic_across_runs(self, tmp_path):
+        from repro.bench.sweep import run_sweep
+
+        def run(name):
+            directory = tmp_path / name
+            directory.mkdir()
+            history = directory / "h.jsonl"
+            run_sweep(
+                figures=["fig8c"],
+                scale="bench",
+                workers=1,
+                manifest_path=str(directory / "m.jsonl"),
+                history_path=str(history),
+            )
+            (record,) = [
+                json.loads(line) for line in history.read_text().splitlines()
+            ]
+            return record
+
+        first, second = run("a"), run("b")
+        assert first["stage_cycles"] == second["stage_cycles"]
+        assert first["stage_shares"] == second["stage_shares"]
+        assert first["sweep_digest"] == second["sweep_digest"]
+
+    def test_no_history_path_appends_nothing(self, tmp_path):
+        from repro.bench.sweep import run_sweep
+
+        run_sweep(
+            figures=["fig8c"],
+            scale="bench",
+            workers=1,
+            manifest_path=str(tmp_path / "m.jsonl"),
+        )
+        assert list(tmp_path.iterdir()) == [tmp_path / "m.jsonl"]
+
+
+class TestKernelHistory:
+    def _report(self, shares):
+        return {
+            "headline": {"cell": "c", "speedup_batched_over_unbatched": 7.5},
+            "cells": {
+                "c": {
+                    "batched": {"sim_ops_per_sec": 1000.0, "wall_seconds": 1.0},
+                    "speedup_batched_over_unbatched": 7.5,
+                }
+            },
+            "stage_shares": shares,
+        }
+
+    def test_append_records_and_attributes_shift(self, tmp_path):
+        from repro.bench.kernelbench import append_history
+
+        history = str(tmp_path / "h.jsonl")
+        first = append_history(history, self._report({"app": 0.6, "tlb": 0.4}))
+        assert first["kind"] == "kernel"
+        assert "share_shift" not in first   # nothing to diff against
+        second = append_history(history, self._report({"app": 0.4, "tlb": 0.6}))
+        assert second["share_shift"] == {"stage": "tlb", "delta": 0.2}
+        records = [
+            json.loads(line)
+            for line in open(history).read().splitlines()
+        ]
+        assert [r["kind"] for r in records] == ["kernel", "kernel"]
+        assert records[0]["config_digest"] == records[1]["config_digest"]
+
+    def test_attribute_regression_names_suspect_stage(self, tmp_path):
+        from repro.bench.kernelbench import append_history, attribute_regression
+
+        history = str(tmp_path / "h.jsonl")
+        append_history(history, self._report({"app": 0.7, "device_io": 0.3}))
+        current = self._report({"app": 0.5, "device_io": 0.5})
+        append_history(history, current)
+        line = attribute_regression(current, history)
+        assert "device_io" in line
+        assert "+20.0%" in line
+
+    def test_attribute_regression_flags_kernel_side_when_shares_static(
+        self, tmp_path
+    ):
+        from repro.bench.kernelbench import append_history, attribute_regression
+
+        history = str(tmp_path / "h.jsonl")
+        shares = {"app": 0.5, "device_io": 0.5}
+        append_history(history, self._report(shares))
+        current = self._report(dict(shares))
+        append_history(history, current)
+        line = attribute_regression(current, history)
+        assert "kernel-side" in line
+
+    def test_attribute_regression_without_history(self, tmp_path):
+        from repro.bench.kernelbench import attribute_regression
+
+        assert (
+            attribute_regression(
+                self._report({"app": 1.0}), str(tmp_path / "missing.jsonl")
+            )
+            is None
+        )
+
+    def test_measured_stage_shares_are_deterministic(self):
+        from repro.bench.kernelbench import measure_stage_shares
+
+        first = measure_stage_shares(total_accesses=4096)
+        second = measure_stage_shares(total_accesses=4096)
+        assert first == second
+        assert sum(first.values()) == pytest.approx(1.0, abs=1e-3)
+        assert first["fault_path"] > 0

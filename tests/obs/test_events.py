@@ -1,0 +1,129 @@
+"""Telemetry snapshots: schema, determinism, stage folding, shift attribution."""
+
+import pytest
+
+from repro.obs import METRICS, TRACER
+from repro.obs.events import (
+    DEFAULT_STAGE_RULES,
+    NONDETERMINISTIC_KEYS,
+    attribute_shift,
+    collect_cell_telemetry,
+    deterministic_view,
+    merge_stage_cycles,
+    stage_shares,
+    telemetry_bytes,
+    telemetry_digest,
+)
+from repro.sim.clock import CycleClock
+
+
+@pytest.fixture(autouse=True)
+def _globals_off():
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+
+
+def _tiny_workload():
+    """Charge a few spans + counters deterministically in the active scope."""
+    clock = CycleClock()
+    with TRACER.span("op.get", clock):
+        clock.charge("app", 100)
+        with TRACER.span("fault"):
+            clock.charge("fault.vma_lookup", 40)
+            with TRACER.span("fault.io"):
+                clock.charge("idle.io", 2400)
+    METRICS.counter("engine.faults").inc(3)
+    METRICS.histogram("lat", buckets=[100.0, 10000.0]).observe_many([50, 2540])
+
+
+class TestSnapshotShape:
+    def test_snapshot_has_every_section(self):
+        with TRACER.isolated(enable=True), METRICS.isolated(enable=True):
+            _tiny_workload()
+            telemetry = collect_cell_telemetry(wall_seconds=1.25)
+        assert telemetry["schema"] == 1
+        assert telemetry["wall_seconds"] == 1.25
+        assert telemetry["spans"] == {"finished": 3, "dropped": 0}
+        assert telemetry["metrics"]["engine.faults"] == 3
+        assert telemetry["histogram_summaries"]["lat"]["count"] == 2
+        stages = telemetry["attribution"]["stages"]
+        # op.* -> app, fault.io -> device_io, bare fault -> fault_path.
+        assert stages["app"] == 100.0
+        assert stages["device_io"] == 2400.0
+        assert stages["fault_path"] == 40.0
+        assert telemetry["attribution"]["total_cycles"] == 2540.0
+        names = [s["name"] for s in telemetry["attribution"]["top_spans"]]
+        assert names[0] == "fault.io"   # sorted by exclusive cycles
+
+    def test_stage_rules_first_match_wins(self):
+        # "fault.io" must fold as device_io, not as the generic fault stage,
+        # which is what the rule ordering encodes.
+        prefixes = [prefix for prefix, _ in DEFAULT_STAGE_RULES]
+        assert prefixes.index("fault.io") < prefixes.index("fault")
+
+
+class TestDeterminism:
+    def test_identical_scopes_are_byte_identical(self):
+        def run():
+            with TRACER.isolated(enable=True), METRICS.isolated(enable=True):
+                _tiny_workload()
+                return collect_cell_telemetry(wall_seconds=0.5)
+
+        first, second = run(), run()
+        assert telemetry_bytes(first) == telemetry_bytes(second)
+        assert telemetry_digest(first) == telemetry_digest(second)
+
+    def test_wall_seconds_excluded_from_digest(self):
+        def run(wall):
+            with TRACER.isolated(enable=True), METRICS.isolated(enable=True):
+                _tiny_workload()
+                return collect_cell_telemetry(wall_seconds=wall)
+
+        assert telemetry_digest(run(0.1)) == telemetry_digest(run(99.9))
+
+    def test_deterministic_view_drops_reserved_keys(self):
+        telemetry = {"schema": 1, "wall_seconds": 3.0, "env": {"pid": 42}}
+        view = deterministic_view(telemetry)
+        assert view == {"schema": 1}
+        for key in NONDETERMINISTIC_KEYS:
+            assert key not in view
+
+
+class TestAggregation:
+    def test_stage_shares_normalize(self):
+        telemetry = {"attribution": {"stages": {"app": 300.0, "device_io": 100.0}}}
+        shares = stage_shares(telemetry)
+        assert shares == {"app": 0.75, "device_io": 0.25}
+
+    def test_stage_shares_of_empty_attribution(self):
+        assert stage_shares({"attribution": {"stages": {"app": 0.0}}}) == {"app": 0.0}
+
+    def test_merge_stage_cycles_sums_across_snapshots(self):
+        snaps = [
+            {"attribution": {"stages": {"app": 10.0, "device_io": 5.0}}},
+            {"attribution": {"stages": {"app": 1.0, "tlb": 2.0}}},
+        ]
+        assert merge_stage_cycles(snaps) == {
+            "app": 11.0,
+            "device_io": 5.0,
+            "tlb": 2.0,
+        }
+
+    def test_attribute_shift_names_largest_mover(self):
+        prev = {"app": 0.5, "device_io": 0.3, "tlb": 0.2}
+        curr = {"app": 0.4, "device_io": 0.45, "tlb": 0.15}
+        stage, delta = attribute_shift(prev, curr)
+        assert stage == "device_io"
+        assert delta == pytest.approx(0.15)
+
+    def test_attribute_shift_tie_breaks_by_name(self):
+        prev = {"a": 0.5, "b": 0.5}
+        curr = {"a": 0.4, "b": 0.6}
+        stage, delta = attribute_shift(prev, curr)
+        assert stage == "b" and delta == pytest.approx(0.1)
+
+    def test_attribute_shift_empty_inputs(self):
+        assert attribute_shift({}, {}) == ("other", 0.0)

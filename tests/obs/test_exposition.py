@@ -1,0 +1,95 @@
+"""OpenMetrics-style exposition: naming, typing, histograms, snapshots."""
+
+import pytest
+
+from repro.obs.exposition import (
+    metric_name,
+    render_openmetrics,
+    render_snapshot,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    r.enable()
+    return r
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert metric_name("engine.aquila.hits") == "engine_aquila_hits"
+
+    def test_illegal_chars_replaced(self):
+        assert metric_name("a b/c-d") == "a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("9lives") == "_9lives"
+
+
+class TestRender:
+    def test_counter_gauge_histogram_sections(self, registry):
+        registry.counter("faults", help="total faults").inc(3)
+        registry.gauge("cache.pages").set(128)
+        registry.histogram("lat.us", buckets=[10.0, 100.0]).observe_many([5, 50, 5000])
+        text = render_openmetrics(registry)
+        assert "# HELP faults total faults" in text
+        assert "# TYPE faults counter" in text
+        assert "faults_total 3" in text
+        assert "# TYPE cache_pages gauge" in text
+        assert "cache_pages 128" in text
+        # Histogram buckets are cumulative.
+        assert 'lat_us_bucket{le="10"} 1' in text
+        assert 'lat_us_bucket{le="100"} 2' in text
+        assert 'lat_us_bucket{le="+Inf"} 3' in text
+        assert "lat_us_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_probes_render_as_gauges_and_raisers_skipped(self, registry):
+        registry.register_probe("live.value", lambda: 7)
+
+        def broken():
+            raise RuntimeError("torn down")
+
+        registry.register_probe("broken.value", broken)
+        text = render_openmetrics(registry)
+        assert "live_value 7" in text
+        assert "broken_value" not in text
+
+    def test_two_renders_are_byte_identical(self, registry):
+        registry.counter("c").inc(2)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        assert render_openmetrics(registry) == render_openmetrics(registry)
+
+    def test_write_returns_line_count(self, registry, tmp_path):
+        registry.counter("c").inc()
+        path = tmp_path / "om.txt"
+        lines = write_openmetrics(str(path), registry)
+        assert path.read_text().count("\n") == lines
+        assert path.read_text().endswith("# EOF\n")
+
+
+class TestRenderSnapshot:
+    def test_plain_snapshot_renders(self):
+        snapshot = {
+            "engine.faults": 3,
+            "dead.probe": None,
+            "lat": {"buckets": [(10.0, 1), (100.0, 1)], "overflow": 1,
+                    "count": 3, "sum": 5055.0},
+        }
+        text = render_snapshot(snapshot)
+        assert "engine_faults 3" in text
+        assert "dead_probe" not in text
+        assert 'lat_bucket{le="100"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5055" in text
+
+    def test_manifest_telemetry_metrics_round_trip(self):
+        # What a manifest row's telemetry.metrics looks like after JSON:
+        # histogram bucket tuples became lists.
+        snapshot = {"lat": {"buckets": [[10.0, 2]], "overflow": 0,
+                            "count": 2, "sum": 8.0}}
+        text = render_snapshot(snapshot)
+        assert 'lat_bucket{le="10"} 2' in text

@@ -81,6 +81,83 @@ class TestHistogram:
             registry.histogram("bad2", buckets=[10, 2])
 
 
+class TestHistogramQuantiles:
+    def test_empty_recorder_has_no_quantiles(self, registry):
+        h = registry.histogram("h", buckets=[10, 100])
+        assert h.mean() is None
+        assert h.quantile(0.5) is None
+        assert h.summary() == {
+            "count": 0,
+            "sum": 0.0,
+            "mean": None,
+            "p50": None,
+            "p90": None,
+            "p99": None,
+            "p999": None,
+        }
+
+    def test_single_sample_pins_every_quantile(self, registry):
+        h = registry.histogram("h", buckets=[2.0, 8.0])
+        h.observe(4.0)
+        summary = h.summary()
+        # One sample: every percentile interpolates inside its bucket,
+        # landing on the same value for p50 through p999.
+        assert summary["p50"] == summary["p999"]
+        assert 2.0 < summary["p50"] <= 8.0
+        assert summary["mean"] == 4.0
+
+    def test_p999_on_tiny_sample_count_stays_in_range(self, registry):
+        h = registry.histogram("h", buckets=[10.0, 100.0, 1000.0])
+        h.observe_many([5, 50, 500])
+        p999 = h.quantile(0.999)
+        assert 100.0 < p999 <= 1000.0   # the max sample's bucket
+
+    def test_overflow_quantile_reports_last_bound(self, registry):
+        h = registry.histogram("h", buckets=[4.0, 8.0])
+        h.observe_many([1, 2, 1e9])
+        assert h.quantile(0.999) == 8.0   # overflow clamps to the last bound
+
+    def test_quantile_out_of_range_rejected(self, registry):
+        h = registry.histogram("h", buckets=[1.0])
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantiles_are_monotone(self, registry):
+        h = registry.histogram("h", buckets=[10.0, 100.0, 1000.0, 10000.0])
+        h.observe_many([3, 30, 30, 300, 300, 300, 3000])
+        values = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 0.999)]
+        assert values == sorted(values)
+
+
+class TestIsolated:
+    def test_isolated_scope_restores_outer_metrics(self, registry):
+        registry.counter("outer.count").inc(3)
+        with registry.isolated(enable=True):
+            registry.counter("inner.count").inc(7)
+            assert registry.snapshot() == {"inner.count": 7}
+        assert registry.snapshot() == {"outer.count": 3}
+
+    def test_isolated_restores_disabled_flag(self):
+        registry = MetricsRegistry()   # disabled
+        with registry.isolated(enable=True):
+            registry.counter("c").inc(2)
+            assert registry.snapshot() == {"c": 2}
+        registry.counter("c2").inc(5)  # mutation is a no-op again outside
+        assert registry.snapshot() == {"c2": 0}
+
+    def test_isolated_drops_probes_and_prefixes(self, registry):
+        registry.register_probe("outer.probe", lambda: 1)
+        assert registry.unique_prefix("dev") == "dev"
+        with registry.isolated(enable=True):
+            assert registry.snapshot() == {}
+            # Fresh prefix table: the same prefix is available again.
+            assert registry.unique_prefix("dev") == "dev"
+        assert registry.snapshot() == {"outer.probe": 1}
+        assert registry.unique_prefix("dev") == "dev#1"
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self, registry):
         assert registry.counter("x") is registry.counter("x")

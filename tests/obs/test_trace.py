@@ -165,10 +165,14 @@ class TestChromeExport:
         path = tmp_path / "trace.json"
         events = tracer.write_chrome_trace(str(path))
         trace = json.loads(path.read_text())
-        assert len(trace["traceEvents"]) == events == 3   # 1 metadata + 2 spans
+        # 1 process_name + 1 thread_name + 2 spans
+        assert len(trace["traceEvents"]) == events == 4
         meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
         complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
-        assert meta[0]["args"]["name"] == "worker-0"
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "repro-sim"
+        assert meta[1]["name"] == "thread_name"
+        assert meta[1]["args"]["name"] == "worker-0"
         by_name = {e["name"]: e for e in complete}
         fault, io = by_name["fault"], by_name["fault.io"]
         # ts/dur are simulated microseconds at the simulated frequency.
@@ -179,6 +183,26 @@ class TestChromeExport:
         assert fault["args"]["charges"] == {"fault.vma_lookup": 120}
         assert io["args"]["charges"] == {"idle.io": 2400}
         assert trace["otherData"]["dropped_spans"] == 0
+
+    def test_streamed_file_matches_materialized_trace(self, tracer, tmp_path):
+        clock = CycleClock()
+        for i in range(20):
+            with tracer.span(f"s{i}", clock):
+                clock.charge("w", 10 + i)
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(str(path))
+        streamed = json.loads(path.read_text())
+        assert streamed == tracer.to_chrome_trace()
+        # process_name + thread_name + 20 spans
+        assert count == len(streamed["traceEvents"]) == 22
+
+    def test_empty_tracer_still_writes_valid_trace(self, tracer, tmp_path):
+        path = tmp_path / "empty.json"
+        count = tracer.write_chrome_trace(str(path))
+        trace = json.loads(path.read_text())
+        assert count == 1   # just the process_name metadata event
+        assert trace["traceEvents"][0]["name"] == "process_name"
+        assert trace["otherData"]["total_spans"] == 0
 
     def test_determinism_identical_runs_identical_traces(self):
         """Two identical traced runs serialize to byte-identical JSON."""
@@ -203,3 +227,43 @@ class TestChromeExport:
             return blob
 
         assert traced_run() == traced_run()
+
+
+class TestIsolated:
+    def test_isolated_scope_restores_outer_state(self, tracer):
+        clock = CycleClock()
+        with tracer.span("outer-span", clock):
+            clock.charge("w", 5)
+        outer_epoch = tracer.epoch
+        with tracer.isolated(enable=True):
+            inner_clock = CycleClock()
+            with tracer.span("inner-span", inner_clock):
+                inner_clock.charge("w", 7)
+            assert [s.name for s in tracer.finished_spans()] == ["inner-span"]
+            assert tracer.total_finished == 1
+        assert [s.name for s in tracer.finished_spans()] == ["outer-span"]
+        assert tracer.total_finished == 1
+        assert tracer.epoch == outer_epoch + 2   # bump on entry and exit
+
+    def test_isolated_restores_disabled_flag(self):
+        t = Tracer(capacity=8)
+        assert not t.enabled
+        with t.isolated(enable=True):
+            assert t.enabled
+            with t.span("s", CycleClock()):
+                pass
+        assert not t.enabled
+        assert t.finished_spans() == []
+
+    def test_stale_track_ids_do_not_leak_across_scopes(self, tracer):
+        clock = CycleClock()
+        clock.owner_name = "shared-clock"
+        with tracer.isolated(enable=True):
+            with tracer.span("a", clock):
+                pass
+        with tracer.isolated(enable=True):
+            with tracer.span("b", clock):
+                pass
+            # The epoch bump forced re-registration instead of reusing the
+            # first scope's track id.
+            assert tracer.track_names() == ["shared-clock"]
