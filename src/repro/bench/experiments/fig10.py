@@ -21,10 +21,13 @@ from repro.workloads.microbench import MicrobenchConfig, run_microbench
 
 DEFAULT_THREAD_COUNTS = [1, 2, 4, 8, 16, 32]
 
-#: Default per-figure access budget.  10x the original 4096: the batched
-#: scheduler retires in-memory re-access runs in bulk, so figure-scale runs
-#: stay fast while the latency distributions get much tighter tails.
-DEFAULT_TOTAL_ACCESSES = 40960
+#: Default per-figure access budget.  40x the original 4096 (10x from the
+#: batched scheduler, another 4x from the analytic fast-forward): figure
+#: runs default to fast-forward mode, which retires in-memory re-access
+#: tails in closed form and replays out-of-memory faults fused, so
+#: figure-scale runs stay fast while stepping further toward the paper's
+#: full-scale access counts.
+DEFAULT_TOTAL_ACCESSES = 163840
 
 
 def size_fig10_cell(
@@ -80,6 +83,7 @@ def _run_config_with_stack(
     total_accesses: int = DEFAULT_TOTAL_ACCESSES,
     device_kind: str = "pmem",
     batched: bool = True,
+    fastforward: bool = True,
 ):
     """One Figure 10 cell; returns ``(row, stack, result)`` for digesting."""
     sizing = size_fig10_cell(
@@ -108,6 +112,7 @@ def _run_config_with_stack(
         touch_once=sizing["touch_once"],
         shared_file=shared_file,
         batched=batched,
+        fastforward=fastforward,
     )
     result = run_microbench(stack.engine, files, config)
     latencies = result.merged_latencies()
@@ -133,6 +138,7 @@ def run_config(
     total_accesses: int = DEFAULT_TOTAL_ACCESSES,
     device_kind: str = "pmem",
     batched: bool = True,
+    fastforward: bool = True,
 ) -> Dict:
     """One (engine, threads, sharing, fit) cell of Figure 10."""
     row, _, _ = _run_config_with_stack(
@@ -144,6 +150,7 @@ def run_config(
         total_accesses,
         device_kind,
         batched,
+        fastforward,
     )
     return row
 

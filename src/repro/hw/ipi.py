@@ -58,13 +58,23 @@ class InterferenceAccount:
         if not queue:
             return 0.0
         now = clock.now
-        matured = [entry for entry in queue if entry[0] <= now]
+        cycles = 0.0
+        matured = False
+        future = None
+        for entry in queue:
+            if entry[0] <= now:
+                cycles += entry[1]
+                matured = True
+            elif future is None:
+                future = [entry]
+            else:
+                future.append(entry)
         if not matured:
             return 0.0
-        queue[:] = [entry for entry in queue if entry[0] > now]
-        if not queue:
+        if future is None:
             del self._pending[core]
-        cycles = sum(entry[1] for entry in matured)
+        else:
+            queue[:] = future
         clock.charge(category, cycles)
         self.total_delivered += cycles
         return cycles
@@ -108,12 +118,12 @@ class ShootdownController:
         )
 
     def _target_cores(self, vpns: Iterable[int], initiator_core: int) -> List[int]:
-        vpn_list = list(vpns)
+        vpn_set = set(vpns)
         targets = []
         for core, tlb in enumerate(self.tlbs):
             if core == initiator_core:
                 continue
-            if any(tlb.contains(vpn) for vpn in vpn_list):
+            if tlb.contains_any(vpn_set):
                 targets.append(core)
         return targets
 

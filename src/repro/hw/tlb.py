@@ -53,6 +53,14 @@ class TLB:
         """Whether the TLB currently caches ``vpn`` (no cost, no LRU touch)."""
         return vpn in self._entries
 
+    def contains_any(self, vpns: Iterable[int]) -> bool:
+        """Whether any vpn of a batch is cached (no cost, no LRU touch).
+
+        Set-disjointness instead of a per-vpn probe loop: shootdown target
+        selection scans every core's TLB against batches of up to 512 vpns.
+        """
+        return not self._entries.keys().isdisjoint(vpns)
+
     def invalidate(self, vpn: int) -> None:
         """Drop one entry (functional part of INVLPG)."""
         if vpn in self._entries:
@@ -61,8 +69,11 @@ class TLB:
 
     def invalidate_many(self, vpns: Iterable[int]) -> None:
         """Drop a batch of entries (batched shootdown receive side)."""
+        entries = self._entries
         for vpn in vpns:
-            self.invalidate(vpn)
+            if vpn in entries:
+                del entries[vpn]
+                self.invalidations += 1
 
     def flush(self) -> None:
         """Drop every entry (CR3 reload / full shootdown)."""

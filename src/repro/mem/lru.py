@@ -38,6 +38,20 @@ class ApproxLRU:
             return True
         return False
 
+    def remove_batch(self, keys) -> int:
+        """Drop every key in ``keys``; returns how many were present.
+
+        Equivalent to ``remove`` in a loop (removal order does not affect
+        the recency order of the survivors) — one call for batch eviction.
+        """
+        order = self._order
+        removed = 0
+        for key in keys:
+            if key in order:
+                del order[key]
+                removed += 1
+        return removed
+
     def evict_batch(self, count: int) -> List[Hashable]:
         """Pop up to ``count`` coldest keys (paper batch: 512)."""
         victims: List[Hashable] = []

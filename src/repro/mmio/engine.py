@@ -14,6 +14,7 @@ Engines differ only in what a *fault* costs and how the cache behaves.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common import constants, units
@@ -39,6 +40,14 @@ from repro.mmio.vma import (
 )
 from repro.obs import METRICS, TRACER
 from repro.sim.executor import SimThread
+from repro.sim.fastforward import (
+    MAX_ANALYTIC_PAGES,
+    MAX_ANALYTIC_WINDOW,
+    MIN_ANALYTIC_RUN,
+    expected_hit_run_length,
+    window_profile,
+    write_cut,
+)
 
 
 class Mapping:
@@ -97,6 +106,14 @@ class MmioEngine:
     #: value; ``tests/conformance/test_invariant.py`` checks the bound.
     sync_preamble_cycles: float = constants.SYSCALL_CYCLES
 
+    #: Analytic fast-forward switch (see ``repro.sim.fastforward``).  When
+    #: True *and* a run's gates hold (unbounded horizon, integer clock, no
+    #: pending interference, vectorized plan), ``hit_run`` retires whole
+    #: all-hit windows in closed form and ``_ensure_mapped`` may take the
+    #: engine's fused fault path.  Off by default: unbatched mode stays a
+    #: pristine per-op reference, and hand-built stacks opt in explicitly.
+    fastforward: bool = False
+
     def __init__(self, machine: Machine, vmas: VMAStore, vmx: VMXCostModel) -> None:
         self.machine = machine
         self.vmas = vmas
@@ -112,6 +129,8 @@ class MmioEngine:
         self.wp_faults = 0         # write-protect (dirty-tracking) subset
         self.hit_runs = 0          # batched-mode runs retired via hit_run
         self.batched_hits = 0      # operations retired inside those runs
+        self.ff_runs = 0           # analytic closed-form windows retired
+        self.ff_hits = 0           # accesses retired inside those windows
         # Quiescence-certificate bookkeeping (run_ahead_unbounded_ok).
         self._mapped_vma_pages = 0
         self._ranges_disturbed = False
@@ -315,8 +334,78 @@ class MmioEngine:
         self.faults += 1
         if is_write:
             self._dirtied = True
+        elif self.fastforward:
+            # Fused fault fast path (read faults only): the engine may
+            # replay its whole fault protocol without span/call overhead,
+            # bit-identically; None means "not eligible, take the real
+            # path".  ``ff_faults`` on the subclass counts engagements.
+            frame = self._fault_fast(thread, mapping.vma, vpn)
+            if frame is not None:
+                return frame
         with TRACER.span("fault", thread.clock):
             return self._fault(thread, mapping.vma, vpn, is_write)
+
+    def load_op_fast(self, thread: SimThread, mapping: Mapping, page: int, in_page: int) -> bool:
+        """Fused single-page slow-path read op (fast-forward mode only).
+
+        Replays exactly what ``load`` does for one in-bounds, single-page,
+        8-byte read — interference absorb, PTE probe, TLB access and hit
+        charge (or the fault protocol), latency record — without the
+        span/split/join machinery.  The loaded bytes are not materialized:
+        the microbenchmark discards them and ``read_partial`` is pure, so
+        skipping it is state-identical.  Returns False (caller must use
+        the generic path) without mutating anything when a gate fails.
+        """
+        clock = thread.clock
+        if (
+            not mapping.active
+            or clock.cpi_factor != 1.0
+            or clock._obs_span is not None
+            or TRACER.enabled
+        ):
+            return False
+        vma = mapping.vma
+        if not 0 <= page < vma.num_pages:
+            return False
+        start = clock.now
+        machine = self.machine
+        interference = machine.interference
+        if thread.core in interference._pending:
+            interference.absorb(thread.core, clock)
+        vpn = vma.start_vpn + page
+        pte = self.page_table._entries.get(vpn)
+        if pte is None:
+            self.faults += 1
+            frame = self._fault_fast(thread, vma, vpn)
+            if frame is None:
+                with TRACER.span("fault", clock):
+                    self._fault(thread, vma, vpn, False)
+        else:
+            # Pure hardware hit reached via the slow path (run horizon
+            # already crossed): TLB access + hit charge, fused.
+            tlb = machine.tlbs[thread.core]
+            entries = tlb._entries
+            now = clock.now
+            cycles = clock.breakdown._cycles
+            if vpn in entries:
+                entries.move_to_end(vpn)
+                tlb.hits += 1
+            else:
+                tlb.misses += 1
+                now += constants.TLB_MISS_WALK_CYCLES
+                cycles["tlb.miss_walk"] += float(constants.TLB_MISS_WALK_CYCLES)
+                entries[vpn] = None
+                entries.move_to_end(vpn)
+                if len(entries) > tlb.capacity:
+                    entries.popitem(last=False)
+            now += constants.LOAD_STORE_HIT_CYCLES
+            cycles["app.access"] += float(constants.LOAD_STORE_HIT_CYCLES)
+            clock.now = now
+            pte.accessed = True
+        thread.latencies._samples.append(clock.now - start)
+        thread.latencies._sorted_cache = None
+        thread.ops_completed += 1
+        return True
 
     def hit_run(
         self,
@@ -391,6 +480,42 @@ class MmioEngine:
             walk_cost = constants.TLB_MISS_WALK_CYCLES
             now = clock.now
             walks = 0
+            if (
+                self.fastforward
+                and horizon == math.inf
+                and total - index >= MIN_ANALYTIC_RUN
+                and core not in pending
+                and num_pages <= MAX_ANALYTIC_PAGES
+                and getattr(accesses, "np_pages", None) is not None
+                and now.is_integer()
+            ):
+                # Analytic fast-forward: with an unbounded horizon the
+                # whole remaining all-hit window can retire in closed form
+                # (see ``repro.sim.fastforward``).  The miss-rate model
+                # skips the setup when steady-state eviction would cut
+                # windows below the amortization floor anyway.
+                cache = getattr(self, "cache", None)
+                if cache is not None and expected_hit_run_length(
+                    self._mapped_vma_pages, cache.capacity_pages
+                ) >= MIN_ANALYTIC_RUN:
+                    # Each call retires at most MAX_ANALYTIC_WINDOW
+                    # accesses (profiling cost stays bounded); loop while
+                    # full windows keep retiring so long runs never fall
+                    # to the per-op loop.  Every gate above is preserved
+                    # across iterations: charges are integer (the clock
+                    # stays integer), no other thread runs inside this
+                    # call (pending interference cannot appear), and the
+                    # plan arrays don't change.
+                    while total - index >= MIN_ANALYTIC_RUN:
+                        retired = self._hit_run_analytic(
+                            thread, vma, tlb, accesses, index, total
+                        )
+                        if not retired:
+                            break
+                        index += retired
+                        consumed += retired
+                    now = clock.now
+            run_start = consumed
             while index < total and now <= horizon:
                 page = pages_seq[index]
                 is_write = writes_seq[index]
@@ -423,11 +548,13 @@ class MmioEngine:
                 index += 1
                 consumed += 1
             clock.now = now
-            if consumed:
+            loop_n = consumed - run_start
+            if loop_n:
                 cycles = clock.breakdown._cycles
-                cycles["app.access"] += hit_cost * consumed
+                cycles["app.access"] += hit_cost * loop_n
                 if walks:
                     cycles["tlb.miss_walk"] += walk_cost * walks
+            if consumed:
                 thread.latencies._sorted_cache = None
                 thread.ops_completed += consumed
         else:
@@ -458,6 +585,123 @@ class MmioEngine:
             self.hit_runs += 1
             self.batched_hits += consumed
         return consumed
+
+    def _hit_run_analytic(
+        self, thread: SimThread, vma: VMA, tlb, plan, index: int, total: int
+    ) -> int:
+        """Retire a window of all-hit loads in closed form.
+
+        Called from the slim branch of :meth:`hit_run` — repeatedly,
+        while full windows keep retiring — under the analytic gates
+        (unbounded horizon, integer
+        clock, no pending interference, vectorized plan, CPI 1.0, tracer
+        idle).  The window is cut at the first write, the first
+        out-of-bounds page, the first access whose PTE is missing, and
+        the first access that would overflow the TLB, re-profiling until
+        the cuts are stable; what remains is applied in bulk — cycle
+        total, per-stage breakdown, per-access latencies, TLB counters
+        and final recency order, PTE accessed bits — bit-identically to
+        stepping the same accesses through the loop (the invariant
+        ``tests/conformance/test_fastforward.py`` checks).  Returns the
+        number of accesses retired; 0 means "fall back to the loop".
+        """
+        np_writes = plan.np_writes
+        if np_writes is not None and np_writes[index : index + MIN_ANALYTIC_RUN].any():
+            return 0  # a write lands before the amortization floor
+        np_pages = plan.np_pages
+        num_pages = vma.num_pages
+        start_vpn = vma.start_vpn
+        limit = write_cut(np_writes, index, min(total, index + MAX_ANALYTIC_WINDOW))
+        if limit - index < MIN_ANALYTIC_RUN:
+            return 0
+        window = np_pages[index:limit]
+        oob = (window < 0) | (window >= num_pages)
+        if oob.any():
+            limit = index + int(oob.argmax())
+        pte_entries = self.page_table._entries
+        entries = tlb._entries
+        while True:
+            n = limit - index
+            if n < MIN_ANALYTIC_RUN:
+                return 0
+            window = np_pages[index:limit]
+            touched, first, last = window_profile(window, num_pages)
+            # One membership pass over the distinct pages classifies the
+            # window: pages with no PTE cut it (the loop would break and
+            # fall to the fault path there); pages absent from the TLB
+            # will each insert once (a walk) at their first occurrence.
+            miss_cut = n
+            new_firsts = []
+            for page in touched.tolist():
+                vpn = start_vpn + page
+                if vpn not in pte_entries:
+                    pos = int(first[page])
+                    if pos < miss_cut:
+                        miss_cut = pos
+                elif vpn not in entries:
+                    new_firsts.append(int(first[page]))
+            if miss_cut < n:
+                limit = index + miss_cut
+                continue
+            room = tlb.capacity - len(entries)
+            if len(new_firsts) > room:
+                # The (room+1)-th distinct new page would evict a TLB
+                # entry; the closed form assumes no eviction, so end the
+                # window just before that access and re-profile.
+                new_firsts.sort()
+                limit = index + new_firsts[room]
+                continue
+            break
+        clock = thread.clock
+        now = clock.now
+        walks = len(new_firsts)
+        hit_cost = constants.LOAD_STORE_HIT_CYCLES
+        walk_cost = constants.TLB_MISS_WALK_CYCLES
+        add = hit_cost * n + walk_cost * walks
+        if now + add >= 2.0**53:
+            return 0  # stepped float adds would no longer be exact
+        samples = thread.latencies._samples
+        fill_start = len(samples)
+        samples.extend([float(hit_cost)] * n)
+        if walks:
+            walk_lat = float(hit_cost + walk_cost)
+            for pos in new_firsts:
+                samples[fill_start + pos] = walk_lat
+        cycles = clock.breakdown._cycles
+        cycles["app.access"] += float(hit_cost * n)
+        if walks:
+            cycles["tlb.miss_walk"] += float(walk_cost * walks)
+        tlb.hits += n - walks
+        tlb.misses += walks
+        move_to_end = entries.move_to_end
+        pte_get = pte_entries.get
+        # Stepped execution leaves touched pages at the TLB's recency
+        # tail ordered by *last* occurrence (hits move-to-end, first
+        # misses insert at the end); replay exactly that order.
+        order = last[touched].argsort()
+        for page in touched[order].tolist():
+            vpn = start_vpn + page
+            pte_get(vpn).accessed = True
+            if vpn in entries:
+                move_to_end(vpn)
+            else:
+                entries[vpn] = None
+        clock.now = now + add
+        self.ff_runs += 1
+        self.ff_hits += n
+        return n
+
+    def _fault_fast(self, thread: SimThread, vma: VMA, vpn: int):
+        """Fused read-fault fast path hook; None = take the real path.
+
+        Subclasses with a fused replay of their fault protocol (see
+        ``AquilaEngine._fault_fast``) override this.  Implementations
+        must be charge- and state-identical to ``_fault`` for the cases
+        they accept, and must return None for anything they cannot prove
+        identical (tracing enabled, CPI scaling, device fault injection,
+        readahead, EPT translation, ...).
+        """
+        return None
 
     def run_ahead_unbounded_ok(self) -> bool:
         """Certificate for an *unbounded* hit-run-ahead horizon.

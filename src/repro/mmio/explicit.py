@@ -45,6 +45,13 @@ class ExplicitIOEngine:
     #: Retry policy for transient device faults (None = stack default).
     retry_policy: Optional[RetryPolicy] = None
 
+    #: Analytic fast-forward switch (mirrors ``MmioEngine.fastforward``).
+    #: When on, :meth:`read_run` retires solo hit runs through
+    #: :meth:`UserSpaceCache.get_run_fast`, which skips the per-hit lock
+    #: replay that a solo thread could never contend on.  Mode metadata,
+    #: excluded from conformance digests.
+    fastforward: bool = False
+
     def __init__(
         self,
         machine: Machine,
@@ -126,7 +133,15 @@ class ExplicitIOEngine:
             return 0
         clock = thread.clock
         self.machine.absorb_interference(thread)
-        consumed = self.cache.get_run(clock, thread.tid, file.file_id, blocks, index)
+        if (
+            self.fastforward
+            and clock.cpi_factor == 1.0
+            and clock._obs_span is None
+            and not TRACER.enabled
+        ):
+            consumed = self.cache.get_run_fast(clock, file.file_id, blocks, index)
+        else:
+            consumed = self.cache.get_run(clock, thread.tid, file.file_id, blocks, index)
         if consumed:
             # Solo + uncontended locks: each hit's latency is exactly the
             # lookup charge, so per-op recording needs no clock snapshots.

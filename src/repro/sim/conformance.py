@@ -39,10 +39,22 @@ from repro.fault.plan import FaultPlan, FaultSpec, clear_plan, install_plan
 from repro.mmio.files import BackingFile
 from repro.sim.executor import SimThread
 
-#: Counters that report on the batching machinery itself (how many runs,
-#: how many ops retired inside runs).  They are mode *metadata*, not
-#: simulation outcomes, and are the only state allowed to differ.
-MODE_COUNTERS = frozenset({"hit_runs", "batched_hits"})
+#: Counters that report on the batching/fast-forward machinery itself
+#: (how many runs, how many ops retired inside runs, how many analytic
+#: windows / fused faults / fused evictions engaged) plus the
+#: ``fastforward`` mode switch.  They are mode *metadata*, not simulation
+#: outcomes, and are the only state allowed to differ between modes.
+MODE_COUNTERS = frozenset(
+    {
+        "hit_runs",
+        "batched_hits",
+        "ff_runs",
+        "ff_hits",
+        "ff_faults",
+        "ff_evictions",
+        "fastforward",
+    }
+)
 
 #: Engine kinds driven through the shared-mapping microbenchmark.
 MMIO_ENGINE_KINDS = ("aquila", "linux", "kmmap")
@@ -208,8 +220,14 @@ def run_cell(
     device_kind: str = "pmem",
     fault_spec: Optional[FaultSpec] = None,
     fault_seed: int = 0,
+    fastforward: bool = False,
 ) -> Dict:
-    """Run one mmio microbenchmark cell and return its full state digest."""
+    """Run one mmio microbenchmark cell and return its full state digest.
+
+    ``fastforward`` additionally enables the engine's analytic
+    fast-forward on top of batching (it has no effect unbatched), giving
+    the third mode :func:`assert_fastforward_agrees` compares.
+    """
     from repro.bench.setups import (
         make_aquila_stack,
         make_kmmap_stack,
@@ -249,6 +267,7 @@ def run_cell(
             shared_file=shared_file,
             seed=seed,
             batched=batched,
+            fastforward=fastforward,
         )
         result = run_microbench(stack.engine, files, config)
         digest = _common_digest(stack, result, plan)
@@ -269,6 +288,7 @@ def run_explicit_cell(
     device_kind: str = "pmem",
     fault_spec: Optional[FaultSpec] = None,
     fault_seed: int = 0,
+    fastforward: bool = False,
 ) -> Dict:
     """Run a block-read stream through the explicit-I/O engine, digest it.
 
@@ -294,6 +314,7 @@ def run_explicit_cell(
         machine = Machine()
         device = make_device(device_kind)
         engine = ExplicitIOEngine(machine, cache_pages)
+        engine.fastforward = bool(batched and fastforward)
         allocator = ExtentAllocator(device)
         file = allocator.create("conf-explicit", file_pages * units.PAGE_SIZE)
 
@@ -356,6 +377,26 @@ def assert_modes_agree(run, **kwargs) -> Dict:
     batched = run(batched=True, **kwargs)
     problems = diff_digests(unbatched, batched)
     assert not problems, "batched execution diverged:\n  " + "\n  ".join(
+        problems[:10]
+    )
+    return unbatched
+
+
+def assert_fastforward_agrees(run, **kwargs) -> Dict:
+    """Run ``run`` in all three modes — unbatched, batched, batched with
+    analytic fast-forward — and assert the full state digests are
+    bit-identical; returns the (shared) digest.  This is the fast-forward
+    tier's oracle: the closed forms and fused paths must be invisible
+    against *both* reference schedules."""
+    unbatched = run(batched=False, **kwargs)
+    batched = run(batched=True, **kwargs)
+    fastforward = run(batched=True, fastforward=True, **kwargs)
+    problems = diff_digests(unbatched, batched)
+    assert not problems, "batched execution diverged:\n  " + "\n  ".join(
+        problems[:10]
+    )
+    problems = diff_digests(batched, fastforward)
+    assert not problems, "fast-forward execution diverged:\n  " + "\n  ".join(
         problems[:10]
     )
     return unbatched

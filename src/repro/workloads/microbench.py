@@ -33,6 +33,7 @@ from repro.mmio.engine import Mapping
 from repro.mmio.vma import MADV_RANDOM
 from repro.obs import TRACER
 from repro.sim.executor import SYNC_HORIZON_CYCLES, Executor, RunResult, SimThread
+from repro.sim.fastforward import AccessPlan, LazyBoolSeq, LazyIntSeq
 from repro.sim.rand import counter_draws, derive_seed
 
 #: All microbenchmark stores write this constant payload.  This is part of
@@ -55,6 +56,12 @@ class MicrobenchConfig:
     #: unbatched scheduler — proven by tests/conformance — but much faster
     #: on cache-hit-heavy cells).
     batched: bool = True
+    #: Allow the engine's analytic fast-forward (closed-form retirement of
+    #: quiescent all-hit windows and fused fault replay; see
+    #: ``repro.sim.fastforward``).  Only effective together with
+    #: ``batched`` — unbatched mode always stays the pristine per-op
+    #: reference the conformance tier compares against.
+    fastforward: bool = True
 
 
 #: Tags naming the independent counter streams of one thread's plan.
@@ -77,7 +84,8 @@ def _op_plan(
     seed: int,
     partition_index: int,
     partition_count: int,
-) -> Tuple[list, list, list]:
+    lazy: bool = False,
+) -> AccessPlan:
     """Precompute one thread's access plan as three parallel lists:
     ``(pages, in_page_offsets, is_write_flags)``.
 
@@ -92,9 +100,21 @@ def _op_plan(
     holds, the plan touches every owned page once and then re-accesses
     random owned pages — pure cache hits whenever the dataset fits in
     memory, which is what the batched fast path accelerates.
+
+    The returned :class:`~repro.sim.fastforward.AccessPlan` unpacks as
+    the historical 3-tuple; when numpy is present it also carries int64
+    page / bool write array views of the same values so the engine's
+    analytic fast-forward can profile windows without re-materializing.
     """
     base = derive_seed(seed, f"mb-{thread.tid}")
     total_pages = mapping.size_bytes >> units.PAGE_SHIFT
+    np_pages = np_writes = None
+    # Lazy mode (fast-forward only): keep the draws as arrays and hand
+    # out int-converting views instead of materializing Python lists —
+    # the analytic path consumes the arrays directly, and the slow path
+    # touches only a sliver of the plan.  Values are identical either
+    # way, so the fast-forward digest conformance covers this too.
+    lazy = lazy and _np is not None
     if touch_once:
         # Each thread owns an interleaved share of the pages, permuted.
         pages = list(range(partition_index, total_pages, partition_count))
@@ -102,32 +122,49 @@ def _op_plan(
         if accesses <= len(pages) or not pages:
             sequence = pages[:accesses]
         else:
-            picks = _mod(
-                counter_draws(base, _TAG_PAGE, accesses - len(pages)),
-                len(pages),
-            )
-            if _np is not None:
-                sequence = pages + _np.asarray(pages)[picks].tolist()
+            draws = counter_draws(base, _TAG_PAGE, accesses - len(pages))
+            if _np is not None and not isinstance(draws, list):
+                # Array-first: one conversion of the final sequence
+                # instead of round-tripping picks through Python lists.
+                owned = _np.asarray(pages, dtype=_np.int64)
+                np_pages = _np.concatenate(
+                    [owned, owned[(draws % len(pages)).astype(_np.int64)]]
+                )
+                sequence = LazyIntSeq(np_pages) if lazy else np_pages.tolist()
             else:
-                sequence = pages + [pages[i] for i in picks]
+                sequence = pages + [pages[d % len(pages)] for d in draws]
     else:
-        sequence = _mod(counter_draws(base, _TAG_PAGE, accesses), total_pages)
-    offsets = _mod(
-        counter_draws(base, _TAG_OFFSET, accesses), units.PAGE_SIZE - 8
-    )
+        draws = counter_draws(base, _TAG_PAGE, accesses)
+        if _np is not None and not isinstance(draws, list):
+            np_pages = (draws % total_pages).astype(_np.int64)
+            sequence = LazyIntSeq(np_pages) if lazy else np_pages.tolist()
+        else:
+            sequence = [d % total_pages for d in draws]
+    offset_draws = counter_draws(base, _TAG_OFFSET, accesses)
+    if lazy and not isinstance(offset_draws, list):
+        offsets = LazyIntSeq(offset_draws % (units.PAGE_SIZE - 8))
+    else:
+        offsets = _mod(offset_draws, units.PAGE_SIZE - 8)
     if write_fraction <= 0.0:
-        writes = [False] * accesses
+        if _np is not None:
+            np_writes = _np.zeros(accesses, dtype=bool)
+        writes = LazyBoolSeq(np_writes) if lazy else [False] * accesses
     elif write_fraction >= 1.0:
-        writes = [True] * accesses
+        if _np is not None:
+            np_writes = _np.ones(accesses, dtype=bool)
+        writes = LazyBoolSeq(np_writes) if lazy else [True] * accesses
     else:
         # draw/2^64 < write_fraction, computed in integers (exact).
         threshold = min(int(write_fraction * 2.0 ** 64), (1 << 64) - 1)
         draws = counter_draws(base, _TAG_WRITE, accesses)
         if _np is not None and not isinstance(draws, list):
-            writes = (draws < threshold).tolist()
+            np_writes = draws < threshold
+            writes = LazyBoolSeq(np_writes) if lazy else np_writes.tolist()
         else:
             writes = [d < threshold for d in draws]
-    return sequence, offsets, writes
+    if _np is not None and np_pages is None:
+        np_pages = _np.asarray(sequence, dtype=_np.int64)
+    return AccessPlan.build(sequence, offsets, writes, np_pages, np_writes)
 
 
 def access_workload(
@@ -150,6 +187,7 @@ def access_workload(
     and the first op needing the fault path (or crossing the horizon) falls
     back to the per-op slow path below — charge-for-charge identical.
     """
+    engine = mapping.engine
     plan = _op_plan(
         thread,
         mapping,
@@ -159,9 +197,10 @@ def access_workload(
         seed,
         partition_index,
         partition_count,
+        lazy=engine.fastforward,
     )
     pages_seq, offsets_seq, writes_seq = plan
-    engine = mapping.engine
+    load_op_fast = engine.load_op_fast
     index = 0
     total = len(pages_seq)
     while index < total:
@@ -170,6 +209,18 @@ def access_workload(
             consumed = engine.hit_run(thread, mapping, plan, index, horizon, WRITE_DATA)
             if consumed:
                 index += consumed
+                yield
+                continue
+            # Fast-forward mode: retire the single slow-path read op via
+            # the engine's fused replay (identical charges, no span/split
+            # machinery).  Falls through to the generic path when a gate
+            # fails or on writes.
+            if (
+                engine.fastforward
+                and not writes_seq[index]
+                and load_op_fast(thread, mapping, pages_seq[index], offsets_seq[index])
+            ):
+                index += 1
                 yield
                 continue
         is_write = writes_seq[index]
@@ -203,6 +254,7 @@ def run_microbench(
         if len(file_list) != config.num_threads:
             raise ValueError("need one file per thread for the private-file mode")
 
+    engine.fastforward = bool(config.batched and config.fastforward)
     executor = Executor(
         epoch_cycles=SYNC_HORIZON_CYCLES if config.batched else None,
         quiescent=engine.run_ahead_unbounded_ok if config.batched else None,

@@ -170,7 +170,15 @@ class TestBatchingEngages:
         run_microbench(stack.engine, f, cfg)
         assert stack.engine.hit_runs > 0
         assert stack.engine.batched_hits > stack.engine.hit_runs
-        assert MODE_COUNTERS == {"hit_runs", "batched_hits"}
+        assert MODE_COUNTERS == {
+            "hit_runs",
+            "batched_hits",
+            "ff_runs",
+            "ff_hits",
+            "ff_faults",
+            "ff_evictions",
+            "fastforward",
+        }
 
     def test_explicit_read_run_engages_solo(self):
         from repro.sim.conformance import run_explicit_cell
