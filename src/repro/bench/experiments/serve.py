@@ -1,0 +1,100 @@
+"""Serve figure: open-loop multi-tenant tail latency (beyond paper).
+
+A figure family the paper does not contain, motivated by its "millions
+of users" serving scenario: two victim tenants with in-memory working
+sets and steady Poisson arrivals share one DRAM cache and device with a
+bursty antagonist tenant sweeping a dataset twice the cache size.  The
+grid crosses engine (aquila / kmmap / linux) with QoS policy (none /
+static / proportional, ``repro.cache.partition``) at a fixed antagonist
+intensity, plus a no-antagonist baseline per engine; payloads carry
+per-tenant p50/p99/p999 sojourn percentiles and admission (shed)
+counters.  Expectations over this family are pinned in
+``repro.bench.paper_claims.BEYOND_PAPER_EXPECTATIONS``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.serve.core import ServeConfig, run_serve, serve_state_digest, standard_tenants
+
+ENGINE_KINDS = ("aquila", "kmmap", "linux")
+
+POLICIES = ("none", "static", "proportional")
+
+#: Antagonist intensity of the contended cells (multiples of the base
+#: rate in ``repro.serve.core.ANTAGONIST_BASE_GAP_CYCLES``): deep into
+#: the antagonist's saturation regime for the headline tail contrast.
+ANTAGONIST_INTENSITY = 6
+
+
+def enumerate_cells(scale: str = "figure") -> List[Dict]:
+    """Every serve cell as an independent sweep work unit.
+
+    Grid: engine x (baseline ``none/a0`` + the three QoS policies under
+    antagonist intensity 6).  ``scale="bench"`` shrinks request counts
+    for tests and CI; params fully determine the run.
+    """
+    if scale == "figure":
+        victim_requests, antagonist_requests = 2400, 1200
+    else:
+        # Enough antagonist faults to fill the cache past capacity, so
+        # bench-scale cells still exercise eviction and the QoS
+        # partition's victim ordering.
+        victim_requests, antagonist_requests = 360, 420
+    cells = []
+    for engine_kind in ENGINE_KINDS:
+        for policy, intensity in (("none", 0),) + tuple(
+            (p, ANTAGONIST_INTENSITY) for p in POLICIES
+        ):
+            cells.append(
+                {
+                    "cell_id": f"serve/{engine_kind}/{policy}/a{intensity}",
+                    "figure": "serve",
+                    "params": {
+                        "engine_kind": engine_kind,
+                        "policy": policy,
+                        "antagonist_intensity": intensity,
+                        "victim_requests": victim_requests,
+                        "antagonist_requests": antagonist_requests,
+                        "cache_pages": 512,
+                        "seed": 71,
+                    },
+                }
+            )
+    return cells
+
+
+def run_sweep_cell(params: Dict) -> Dict:
+    """Run one enumerated serve cell; returns payload + full-state digest.
+
+    The state digest is the serve conformance structure (engine end
+    state plus per-tenant queue counters and exact sojourn streams), so
+    sharded and serial sweeps — and all three executor modes — compare
+    bit for bit.
+    """
+    config = ServeConfig(
+        tenants=standard_tenants(
+            antagonist_intensity=params["antagonist_intensity"],
+            victim_requests=params["victim_requests"],
+            antagonist_requests=params["antagonist_requests"],
+            cache_pages=params["cache_pages"],
+        ),
+        engine_kind=params["engine_kind"],
+        policy=params["policy"],
+        cache_pages=params["cache_pages"],
+        seed=params["seed"],
+    )
+    outcome = run_serve(config)
+    victims = outcome.victim_sojourns()
+    payload = {
+        "engine": outcome.stack.engine.name,
+        "policy": params["policy"],
+        "antagonist_intensity": params["antagonist_intensity"],
+        "tenants": outcome.rows(),
+        "victim_p50_cycles": victims.p50(),
+        "victim_p99_cycles": victims.p99(),
+        "victim_p999_cycles": victims.p999(),
+        "evictions": outcome.stack.engine.cache.evictions,
+    }
+    return {"payload": payload, "state": serve_state_digest(outcome)}

@@ -70,6 +70,7 @@ FIGURE_MODULES = {
     "fig8": "repro.bench.experiments.fig8",
     "fig9": "repro.bench.experiments.fig9",
     "fig10": "repro.bench.experiments.fig10",
+    "serve": "repro.bench.experiments.serve",
 }
 
 

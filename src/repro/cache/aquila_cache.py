@@ -60,6 +60,9 @@ class AquilaCache:
         )
         self.table = LockFreeHashTable(name="aquila.pages")
         self.lru = ApproxLRU()
+        #: Optional per-tenant QoS partition (``repro.cache.partition``);
+        #: when installed, victim selection prefers over-quota tenants.
+        self.partition = None
         self._dirty_trees: List[RBTree] = [RBTree() for _ in range(num_cores)]
         self._pages: Dict[Tuple[int, int], CachePage] = {}
         self.hits = 0
@@ -144,9 +147,17 @@ class AquilaCache:
     # -- eviction -------------------------------------------------------------
 
     def pick_victims(self, clock: CycleClock, count: int) -> List[CachePage]:
-        """Choose up to ``count`` cold pages (approximate LRU order)."""
+        """Choose up to ``count`` cold pages (approximate LRU order).
+
+        With a QoS ``partition`` installed, candidates are reordered so
+        over-quota tenants' pages come first (still LRU order within each
+        preference class); the per-victim selection charge is unchanged.
+        """
+        keys = self.lru.keys_cold_to_hot()
+        if self.partition is not None:
+            keys = self.partition.victim_order(keys, self._pages)
         victims: List[CachePage] = []
-        for key in self.lru.keys_cold_to_hot():
+        for key in keys:
             page = self._pages.get(key)
             if page is not None:
                 victims.append(page)

@@ -53,6 +53,9 @@ class KernelPageCache:
         self._free: List[int] = list(range(capacity_pages - 1, -1, -1))
         self._files: Dict[int, _FileCache] = {}
         self.lru = ApproxLRU()
+        #: Optional per-tenant QoS partition (``repro.cache.partition``);
+        #: when installed, reclaim prefers over-quota tenants' pages.
+        self.partition = None
         self._pages: Dict[Tuple[int, int], CachePage] = {}
         self.hits = 0
         self.misses = 0
@@ -149,9 +152,17 @@ class KernelPageCache:
         cache.tree_lock.release(clock, thread_id)
 
     def pick_victims(self, count: int) -> List[CachePage]:
-        """Choose up to ``count`` cold pages for reclaim (LRU order)."""
+        """Choose up to ``count`` cold pages for reclaim (LRU order).
+
+        With a QoS ``partition`` installed, candidates are reordered so
+        over-quota tenants' pages are reclaimed first (LRU order within
+        each preference class).
+        """
+        keys = self.lru.keys_cold_to_hot()
+        if self.partition is not None:
+            keys = self.partition.victim_order(keys, self._pages)
         victims = []
-        for key in self.lru.keys_cold_to_hot():
+        for key in keys:
             page = self._pages.get(key)
             if page is not None:
                 victims.append(page)

@@ -399,6 +399,11 @@ class AquilaEngine(MmioEngine):
         falling back is always safe.
         """
         cache = self.cache
+        if cache.partition is not None:
+            # A QoS partition reorders victim selection away from the
+            # plain LRU walk this fused batch inlines; take the real
+            # ``_evict_batch`` -> ``pick_victims`` path instead.
+            return False
         pages = cache._pages
         count = cache.eviction_batch
         victims = []

@@ -1,0 +1,38 @@
+"""Open-loop multi-tenant serving layer (beyond-paper extension).
+
+``repro.serve`` drives N tenants — each with its own seed-deterministic
+open-loop arrival process, bounded admission queue, and SLO accounting —
+against one shared mmio stack (Aquila / kmmap / Linux mmap DRAM cache +
+device).  The design argument for why open-loop arrivals and admission
+control preserve the executor's conformance-digest invariant lives in
+DESIGN.md Section 12; the serve test tier
+(``tests/conformance/test_serve.py``, ``tests/serve``) enforces it.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.arrivals import BurstPhase, burst_schedule, poisson_schedule
+from repro.serve.core import (
+    ServeConfig,
+    ServeOutcome,
+    TenantSpec,
+    run_conformance_cell,
+    run_serve,
+    serve_state_digest,
+    standard_tenants,
+)
+from repro.serve.qos import build_partition
+
+__all__ = [
+    "AdmissionQueue",
+    "BurstPhase",
+    "ServeConfig",
+    "ServeOutcome",
+    "TenantSpec",
+    "build_partition",
+    "burst_schedule",
+    "poisson_schedule",
+    "run_conformance_cell",
+    "run_serve",
+    "serve_state_digest",
+    "standard_tenants",
+]

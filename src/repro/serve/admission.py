@@ -1,0 +1,78 @@
+"""Bounded-queue admission control with shed accounting.
+
+One :class:`AdmissionQueue` guards one tenant's server.  Occupancy is a
+pure function of the arrival stamps, the completion stamps, and the
+queue depth, so admit/shed decisions are identical across executor modes
+(DESIGN.md Section 12); the serve conformance digests include the
+resulting counters and the property tier checks the conservation law
+``offered == admitted + shed`` and ``admitted == completed + in_flight``
+at every step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+
+class AdmissionQueue:
+    """Drop-tail admission control for one tenant.
+
+    A request arriving at cycle ``a`` is admitted iff fewer than
+    ``depth`` previously admitted requests are still incomplete at ``a``
+    (completion cycle > ``a``); otherwise it is shed at zero simulated
+    cost.  Completions must be reported in nondecreasing cycle order —
+    FIFO service guarantees that — which lets occupancy be maintained
+    with a deque instead of re-scanning completion times.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.depth = depth
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self._live = 0
+        self._completions: Deque[float] = deque()
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted requests not yet completed."""
+        return self.admitted - self.completed
+
+    def on_arrival(self, cycle: float) -> bool:
+        """Process an arrival at ``cycle``; True iff admitted."""
+        self.offered += 1
+        completions = self._completions
+        while completions and completions[0] <= cycle:
+            completions.popleft()
+            self._live -= 1
+        if self._live >= self.depth:
+            self.shed += 1
+            return False
+        self._live += 1
+        self.admitted += 1
+        return True
+
+    def on_completion(self, cycle: float) -> None:
+        """Record that the oldest in-flight request completed at ``cycle``."""
+        if self.in_flight <= 0:
+            raise ValueError("completion without a matching admission")
+        self.completed += 1
+        self._completions.append(cycle)
+
+    def occupancy(self, cycle: float) -> int:
+        """Queue occupancy as seen by an arrival at ``cycle`` (pure peek)."""
+        draining = sum(1 for c in self._completions if c <= cycle)
+        return self._live - draining
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counter snapshot for payload rows and digests."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+        }

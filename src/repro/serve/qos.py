@@ -1,0 +1,56 @@
+"""QoS policies: tenant specs -> cache partition quotas.
+
+Maps the serve configuration's partitioning policy onto a
+:class:`repro.cache.partition.CachePartition` the shared cache consults
+during victim selection.  Quota arithmetic is integer-exact and iterates
+tenants in specification order, so the resulting partition — like every
+other serve decision — is a pure function of the cell parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cache.partition import POLICIES, CachePartition
+
+
+def build_partition(
+    policy: str,
+    tenants: Sequence,
+    files: Sequence,
+    cache_pages: int,
+) -> Optional[CachePartition]:
+    """Build the cache partition for ``policy`` (None for ``"none"``).
+
+    ``tenants`` are :class:`repro.serve.core.TenantSpec` objects and
+    ``files`` their backing files, aligned by index.
+
+    * ``static`` — every tenant gets ``cache_pages // len(tenants)``;
+    * ``proportional`` — quotas split proportionally to each tenant's
+      offered arrival rate (``1 / mean_gap_cycles``), so a tenant that
+      offers twice the load earns twice the cache.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown partition policy: {policy!r}")
+    if policy == "none":
+        return None
+    if not tenants or len(tenants) != len(files):
+        raise ValueError("need one backing file per tenant")
+    partition = CachePartition(policy)
+    quotas = _quota_pages(policy, tenants, cache_pages)
+    for spec, file, quota in zip(tenants, files, quotas):
+        partition.assign(file.file_id, spec.name)
+        partition.set_quota(spec.name, quota)
+    return partition
+
+
+def _quota_pages(policy: str, tenants: Sequence, cache_pages: int) -> List[int]:
+    """Per-tenant quotas in specification order."""
+    if policy == "static":
+        return [cache_pages // len(tenants)] * len(tenants)
+    # Proportional: integer weights from the arrival rates (scaled so the
+    # division below is exact integer arithmetic, never float-ordering
+    # sensitive).
+    weights = [round(1e9 / max(1.0, spec.mean_gap_cycles)) for spec in tenants]
+    total = sum(weights)
+    return [cache_pages * weight // total for weight in weights]

@@ -9,8 +9,9 @@ perturb each other when one consumes more randomness.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
-from typing import Iterator
+from typing import Iterator, List
 
 
 def derive_seed(master_seed: int, stream_name: str) -> int:
@@ -62,6 +63,39 @@ def counter_draws(base: int, tag: int, count: int):
     z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
     return z ^ (z >> np.uint64(31))
+
+
+def exponential_interarrivals(
+    base: int, tag: int, count: int, mean_cycles: float
+) -> List[int]:
+    """``count`` exponential inter-arrival gaps (integer cycles) from the
+    counter stream ``(base, tag)``.
+
+    Gaps are inverse-CDF transforms of :func:`counter_draws` values —
+    ``-mean * log((draw + 0.5) / 2^64)`` — rounded to whole cycles and
+    clamped to >= 1.  The log/round step runs in pure Python over the int
+    draws (never through numpy float kernels), so gap *i* is a pure
+    function of ``(base, tag, i, mean_cycles)`` and regeneration is
+    byte-identical on every platform, with or without numpy.  Integer
+    stamps also keep open-loop arrival clocks on whole cycles, which the
+    engine's analytic fast-forward gate requires (``now.is_integer()``).
+
+    The +0.5 centering keeps the transform unbiased and the argument of
+    ``log`` strictly inside (0, 1): the gap mean converges to
+    ``mean_cycles`` (up to the >=1 clamp) and the variance to
+    ``mean_cycles ** 2`` — the closed forms the serve property tier
+    checks against.
+    """
+    if mean_cycles <= 0:
+        raise ValueError("mean_cycles must be positive")
+    draws = counter_draws(base, tag, count)
+    if not isinstance(draws, list):
+        draws = draws.tolist()
+    scale = -float(mean_cycles)
+    inv_span = 1.0 / 2.0 ** 64
+    return [
+        max(1, round(scale * math.log((draw + 0.5) * inv_span))) for draw in draws
+    ]
 
 
 class ZipfGenerator:

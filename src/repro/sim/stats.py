@@ -87,7 +87,10 @@ class LatencyRecorder:
         if not 0.0 < pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         ordered = self._sorted()
-        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        # Round away the 1-ulp float error of pct/100*n before ceil(): at
+        # exact rank boundaries (99.9% of 1000 samples) the product can
+        # land epsilon above the integer and silently shift the rank.
+        rank = max(1, math.ceil(round(pct / 100.0 * len(ordered), 9)))
         return ordered[rank - 1]
 
     def p50(self) -> float:

@@ -1,0 +1,1 @@
+"""Serve-layer tests: arrivals, admission, QoS, SLO properties."""

@@ -8,7 +8,9 @@ from repro.sim.rand import (
     LatestGenerator,
     ScrambledZipfGenerator,
     ZipfGenerator,
+    counter_draws,
     derive_seed,
+    exponential_interarrivals,
     fnv1a_64,
     stream,
 )
@@ -36,6 +38,67 @@ class TestFNV:
     @given(st.integers(min_value=0, max_value=1 << 64 - 1))
     def test_in_64bit_range(self, value):
         assert 0 <= fnv1a_64(value) < 1 << 64
+
+
+class TestExponentialInterarrivals:
+    """Closed-form moments and exact regeneration of the gap sampler.
+
+    The serve layer's open-loop schedules are built on these gaps, so the
+    properties here (with the 256-seed sweep in
+    ``tests/serve/test_properties.py``) are what make arrival processes
+    both statistically honest and bit-reproducible.
+    """
+
+    MEAN = 750.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 17, 40, 99, 123, 200])
+    def test_mean_and_variance_vs_closed_form(self, seed):
+        base = derive_seed(seed, "gaps")
+        gaps = exponential_interarrivals(base, 5, 512, self.MEAN)
+        mean = sum(gaps) / len(gaps)
+        assert 0.75 * self.MEAN <= mean <= 1.25 * self.MEAN
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # Exponential: variance == mean^2.
+        assert 0.5 <= var / mean**2 <= 1.6
+
+    def test_byte_identical_regeneration_from_seed_and_counter(self):
+        base = derive_seed(9, "gaps")
+        assert exponential_interarrivals(base, 2, 300, self.MEAN) == (
+            exponential_interarrivals(base, 2, 300, self.MEAN)
+        )
+        # Prefix stability: counter-addressed draws never depend on count.
+        long = exponential_interarrivals(base, 2, 300, self.MEAN)
+        assert exponential_interarrivals(base, 2, 64, self.MEAN) == long[:64]
+
+    def test_gaps_are_positive_integers(self):
+        gaps = exponential_interarrivals(derive_seed(3, "gaps"), 1, 1000, 2.0)
+        assert all(isinstance(g, int) and g >= 1 for g in gaps)
+
+    def test_streams_are_tag_independent(self):
+        base = derive_seed(21, "gaps")
+        assert exponential_interarrivals(base, 1, 64, self.MEAN) != (
+            exponential_interarrivals(base, 2, 64, self.MEAN)
+        )
+
+    def test_tracks_the_underlying_counter_stream(self):
+        # The gap at index i is a pure function of draw i of the same
+        # (base, tag) counter stream — resampling any prefix of the raw
+        # stream reproduces the same transformed gaps.
+        import math
+
+        base = derive_seed(33, "gaps")
+        draws = counter_draws(base, 4, 16)
+        if not isinstance(draws, list):
+            draws = draws.tolist()
+        expected = [
+            max(1, round(-self.MEAN * math.log((d + 0.5) / 2.0**64)))
+            for d in draws
+        ]
+        assert exponential_interarrivals(base, 4, 16, self.MEAN) == expected
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            exponential_interarrivals(derive_seed(1, "gaps"), 1, 4, 0.0)
 
 
 class TestZipf:

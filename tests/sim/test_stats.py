@@ -65,6 +65,68 @@ class TestLatencyRecorder:
         with pytest.raises(ValueError):
             recorder.histogram([10, 2])
 
+    def test_empty_percentiles_are_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.p50() == 0.0
+        assert recorder.p99() == 0.0
+        assert recorder.p999() == 0.0
+        assert recorder.percentile(0.1) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.record(7.0)
+        for pct in (0.1, 50, 99, 99.9, 100):
+            assert recorder.percentile(pct) == 7.0
+
+    def test_p999_boundary_ties(self):
+        # Nearest-rank at an exact boundary: 99.9% of 1000 samples is
+        # rank 999 — the last of the ties, not the outlier...
+        recorder = LatencyRecorder()
+        recorder.extend([5] * 999 + [9])
+        assert recorder.p999() == 5
+        assert recorder.max() == 9
+        # ...and one more sample pushes the boundary past the ties.
+        recorder.record(9)
+        assert recorder.p999() == 9
+
+    def test_p99_boundary_rank(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(1, 101))
+        # 99% of 100 samples is exactly rank 99, even though 0.99 * 100
+        # lands just under 99.0 in floats.
+        assert recorder.p99() == 99
+
+    def test_histogram_agrees_with_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend([10] * 900 + [100] * 99 + [1000])
+        # A bucket bound at the p99 value must hold at least 99% of the
+        # samples at or below it, and the percentile itself must land in
+        # that bucket's range.
+        p99 = recorder.p99()
+        at_or_below, above = recorder.histogram([p99])
+        assert at_or_below >= 0.99 * recorder.count
+        assert at_or_below + above == recorder.count
+        assert recorder.histogram([9, 99, 999]) == [0, 900, 99, 1]
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1),
+        st.sampled_from([50.0, 90.0, 99.0, 99.9]),
+    )
+    def test_histogram_percentile_agreement_property(self, samples, pct):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        value = recorder.percentile(pct)
+        at_or_below = recorder.histogram([value])[0]
+        # Nearest-rank: the bucket closed at percentile(pct) holds at
+        # least ceil(pct% * n) samples, and removing the percentile's own
+        # ties drops the count below that rank.
+        import math
+
+        rank = max(1, math.ceil(round(pct / 100.0 * recorder.count, 9)))
+        assert at_or_below >= rank
+        strictly_below = at_or_below - sum(1 for s in samples if s == value)
+        assert strictly_below < rank
+
     @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1))
     def test_percentiles_monotone(self, samples):
         recorder = LatencyRecorder()
