@@ -290,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. 'fig10' or 'fig5b fig9')",
     )
     sweep.add_argument(
+        "--cluster-shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run only the cluster figure family, restricted to cells with "
+        "this shard count (failover cells included when N matches)",
+    )
+    sweep.add_argument(
         "--scale",
         choices=["figure", "bench"],
         default="figure",
@@ -393,9 +401,18 @@ def _run_sweep_command(args) -> int:
     dashboard = make_dashboard(args.dashboard)
     # The live dashboard owns the terminal; progress lines would tear it.
     progress = print if args.dashboard != "live" else (lambda message: None)
+    figures = args.figures
+    cell_filter = None
+    if args.cluster_shards is not None:
+        if args.cluster_shards < 1:
+            print("error: --cluster-shards must be >= 1", file=sys.stderr)
+            return 2
+        figures = ["cluster"]
+        shards = args.cluster_shards
+        cell_filter = lambda cell: cell["params"].get("num_shards") == shards
     try:
         result = run_sweep(
-            figures=args.figures,
+            figures=figures,
             scale=args.scale,
             workers=args.workers,
             manifest_path=manifest_path,
@@ -406,6 +423,7 @@ def _run_sweep_command(args) -> int:
             profile=args.profile,
             dashboard=dashboard,
             history_path=history_path,
+            cell_filter=cell_filter,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

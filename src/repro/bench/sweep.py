@@ -71,6 +71,7 @@ FIGURE_MODULES = {
     "fig9": "repro.bench.experiments.fig9",
     "fig10": "repro.bench.experiments.fig10",
     "serve": "repro.bench.experiments.serve",
+    "cluster": "repro.bench.experiments.cluster",
 }
 
 
@@ -379,6 +380,7 @@ def run_sweep(
     profile: bool = False,
     dashboard=None,
     history_path: Optional[str] = None,
+    cell_filter: Optional[Callable[[Dict], bool]] = None,
 ) -> SweepResult:
     """Run the paper sweep; returns a :class:`SweepResult`.
 
@@ -396,6 +398,10 @@ def run_sweep(
     :class:`repro.obs.dashboard.SweepDashboard` fed the aggregation
     stream; ``history_path``, when set, appends a ``kind: "sweep"``
     trajectory record to that JSONL file after the summary.
+
+    ``cell_filter``, when set, keeps only cells it returns truthy for
+    (applied after figure/scale enumeration) — how the CLI narrows the
+    cluster family to one shard count (``--cluster-shards``).
     """
     from repro import obs
     from repro.obs.dashboard import SweepDashboard
@@ -403,6 +409,8 @@ def run_sweep(
     say = progress if progress is not None else (lambda message: None)
     dash = dashboard if dashboard is not None else SweepDashboard()
     cells = enumerate_cells(figures, scale)
+    if cell_filter is not None:
+        cells = [cell for cell in cells if cell_filter(cell)]
     prior_records: List[Dict] = []
     resuming = resume and os.path.exists(manifest_path)
     if resuming:

@@ -1,0 +1,105 @@
+"""Epoch-synchronized, deterministically ordered cross-shard messages.
+
+Shards never communicate mid-epoch.  During epoch *e* each shard
+accumulates an **outbox** of cycle-stamped messages; at the epoch
+boundary the coordinator commits every outbox to the bus, which merges
+them into one totally ordered stream — sorted by the ordering key
+``(cycle, shard_id, seq)`` — and fans the stream out into per-recipient
+**inboxes** delivered at the start of epoch *e + 1*.
+
+The ordering key is a total order: ``seq`` increments per message within
+one sender's epoch (so two messages from the same shard never tie), and
+cross-shard cycle ties break on ``shard_id``.  Because delivery happens
+only between epochs — before any shard's executor (and therefore any
+hit-run or analytic fast-forward window) starts — no in-flight message
+is ever observable mid-run, which is the buffering half of the cluster
+determinism argument (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard message (a replicated write, in this PR).
+
+    ``cycle`` is the sender-local completion cycle of the op that
+    produced the message, ``shard_id`` the sender, and ``seq`` the
+    message's ordinal within the sender's epoch outbox — together the
+    delivery ordering key.  ``dest`` lists recipient shard ids; ``key``,
+    ``page`` and ``offset`` locate the replicated store on each
+    recipient (``page`` is the key's home page — a global index into the
+    one logical dataset, addressing the identical offset of every
+    owner's dataset-spanning file).
+    """
+
+    cycle: float
+    shard_id: int
+    seq: int
+    kind: str
+    dest: Tuple[int, ...]
+    key: int
+    page: int
+    offset: int
+
+
+def order_key(message: ShardMessage) -> Tuple[float, int, int]:
+    """The total delivery order: ``(cycle, shard_id, seq)``."""
+    return (message.cycle, message.shard_id, message.seq)
+
+
+class EpochBus:
+    """Buffers outboxes across one epoch boundary and orders delivery."""
+
+    def __init__(self) -> None:
+        #: Per-recipient inboxes awaiting the next epoch, already in
+        #: delivery order.
+        self._inboxes: Dict[int, List[ShardMessage]] = {}
+        self.epochs_committed = 0
+        self.messages_committed = 0
+        self.deliveries = 0
+
+    def commit(self, outboxes: Sequence[Sequence[ShardMessage]]) -> int:
+        """Commit one epoch's outboxes; returns the messages enqueued.
+
+        All outboxes are merged and sorted by :func:`order_key`, then
+        appended to each destination's inbox in that global order.  A
+        message naming several destinations is delivered to each; a
+        message with no live destination is simply dropped (counted in
+        ``messages_committed`` all the same).
+        """
+        merged: List[ShardMessage] = []
+        for outbox in outboxes:
+            merged.extend(outbox)
+        merged.sort(key=order_key)
+        for message in merged:
+            for dest in message.dest:
+                self._inboxes.setdefault(dest, []).append(message)
+                self.deliveries += 1
+        self.epochs_committed += 1
+        self.messages_committed += len(merged)
+        return len(merged)
+
+    def take_inbox(self, shard_id: int) -> List[ShardMessage]:
+        """Drain and return ``shard_id``'s pending inbox (delivery order)."""
+        return self._inboxes.pop(shard_id, [])
+
+    def drop_inbox(self, shard_id: int) -> int:
+        """Discard a dead shard's pending inbox; returns messages dropped."""
+        return len(self._inboxes.pop(shard_id, []))
+
+    def pending(self) -> int:
+        """Messages currently buffered toward the next epoch."""
+        return sum(len(inbox) for inbox in self._inboxes.values())
+
+    def digest(self) -> Dict:
+        """The bus's contribution to the merged cluster digest."""
+        return {
+            "epochs_committed": self.epochs_committed,
+            "messages_committed": self.messages_committed,
+            "deliveries": self.deliveries,
+            "pending": self.pending(),
+        }

@@ -1,0 +1,126 @@
+"""Multi-tenant serving across cluster shards.
+
+The open-loop serving layer (:mod:`repro.serve`) runs N tenants over one
+shared stack; this module places those tenants over cluster shards with
+the same consistent-hash ring the data path uses, then runs each shard's
+tenant subset through the ordinary :func:`repro.serve.core.run_serve` on
+the shard's own stack.  Tenant placement is a pure function of the
+tenant's *name* (hashed through the seeded ring), so adding a shard
+moves only the tenants whose ring segment changed — the standard
+consistent-hashing economy — and a placement is replayable from the
+config alone.
+
+Each shard's serve run observes the same identity discipline as the data
+path (:mod:`repro.cluster.shard`): global id counters are reset before
+the shard's stack is built, so the shard's digest is identical whether
+it ran alone or as the Nth shard of a serial sweep over the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.mmio.files import BackingFile
+from repro.serve.core import ServeConfig, TenantSpec, run_serve, serve_state_digest
+from repro.sim.conformance import hash_digest
+from repro.sim.executor import SimThread
+from repro.sim.rand import derive_seed
+
+
+def tenant_key(name: str, seed: int = 0) -> int:
+    """The ring key of a tenant: a seeded hash of its (stable) name."""
+    return derive_seed(seed, f"cluster-tenant:{name}")
+
+
+def place_tenants(
+    tenants: Sequence[TenantSpec], ring: HashRing, seed: int = 0
+) -> Dict[int, List[TenantSpec]]:
+    """Assign each tenant to its primary shard under ``ring``.
+
+    Returns ``{shard_id: [tenant, ...]}`` with every live shard present
+    (possibly empty) and tenants in their original declaration order.
+    """
+    placement: Dict[int, List[TenantSpec]] = {sid: [] for sid in ring.shard_ids}
+    for spec in tenants:
+        placement[ring.primary(tenant_key(spec.name, seed))].append(spec)
+    return placement
+
+
+@dataclass
+class ClusterServeResult:
+    """Per-shard serve outcomes plus the merged digest."""
+
+    placement: Dict[int, List[str]]
+    shard_digests: Dict[int, Dict]
+    tenant_rows: List[Dict] = field(default_factory=list)
+
+    def merged_digest(self) -> Dict:
+        """All shard serve digests plus the placement that produced them."""
+        return {
+            "placement": {
+                sid: tuple(names) for sid, names in sorted(self.placement.items())
+            },
+            "shards": {sid: d for sid, d in sorted(self.shard_digests.items())},
+        }
+
+    def merged_hash(self) -> str:
+        """Canonical sha256 of :meth:`merged_digest`."""
+        return hash_digest(self.merged_digest())
+
+
+def run_cluster_serve(
+    tenants: Sequence[TenantSpec],
+    num_shards: int,
+    engine_kind: str = "aquila",
+    policy: str = "none",
+    cache_pages: int = 512,
+    device_kind: str = "pmem",
+    seed: int = 7,
+    batched: bool = True,
+    fastforward: bool = True,
+    vnodes: int = DEFAULT_VNODES,
+) -> ClusterServeResult:
+    """Serve ``tenants`` across ``num_shards`` shard stacks.
+
+    Shards run serially in shard-id order; because each shard's stack,
+    tenant schedules, and plans depend only on ``(seed, tenant names)``
+    and ids are reset per shard, the result digest is independent of
+    that order — the same contract the data-path backends satisfy.
+    """
+    if num_shards < 1:
+        raise ValueError("a serve cluster needs at least one shard")
+    ring = HashRing(range(num_shards), vnodes, seed)
+    placement = place_tenants(tenants, ring, seed)
+    shard_digests: Dict[int, Dict] = {}
+    rows: List[Dict] = []
+    for sid in sorted(placement):
+        subset = placement[sid]
+        if not subset:
+            shard_digests[sid] = {"empty": True}
+            continue
+        SimThread.reset_ids()
+        BackingFile.reset_ids()
+        outcome = run_serve(
+            ServeConfig(
+                tenants=list(subset),
+                engine_kind=engine_kind,
+                policy=policy,
+                cache_pages=cache_pages,
+                device_kind=device_kind,
+                seed=seed,
+                batched=batched,
+                fastforward=fastforward,
+            )
+        )
+        shard_digests[sid] = serve_state_digest(outcome)
+        for stats in outcome.tenants:
+            row = stats.row()
+            row["shard"] = sid
+            rows.append(row)
+    return ClusterServeResult(
+        placement={sid: [s.name for s in specs] for sid, specs in placement.items()},
+        shard_digests=shard_digests,
+        tenant_rows=rows,
+    )

@@ -16,6 +16,11 @@ branch of cost) by default:
   crashes deterministically at the Nth boundary with a durable-state
   snapshot for recovery testing.
 
+Cluster runs add a fourth piece:
+:class:`~repro.fault.shardkill.ShardKillSpec` — a seeded shard-kill
+trigger (victim, epoch, intra-epoch op ordinal) driving deterministic
+primary failover in :mod:`repro.cluster`.
+
 The cross-engine differential oracle lives in
 :mod:`repro.fault.differential` (imported on demand — it pulls in the
 whole engine stack).
@@ -52,6 +57,7 @@ from repro.fault.plan import (
     plan_installed,
 )
 from repro.fault.retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
+from repro.fault.shardkill import ShardKillSpec, derive_shard_kill
 
 __all__ = [
     "CRASH",
@@ -69,7 +75,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RetryPolicy",
+    "ShardKillSpec",
     "SimulatedCrash",
+    "derive_shard_kill",
     "TornWriteError",
     "TransientDeviceError",
     "active_plan",

@@ -42,7 +42,7 @@ from repro.obs import TRACER
 from repro.serve.admission import AdmissionQueue
 from repro.serve.arrivals import BurstPhase, burst_schedule, poisson_schedule
 from repro.serve.qos import build_partition
-from repro.sim.executor import SYNC_HORIZON_CYCLES, Executor, RunResult, SimThread
+from repro.sim.executor import RunResult, SimThread, make_epoch_executor
 from repro.sim.fastforward import AccessPlan
 from repro.sim.rand import counter_draws, derive_seed
 from repro.sim.stats import LatencyRecorder
@@ -320,9 +320,8 @@ def run_serve(config: ServeConfig) -> ServeOutcome:
     )
     if partition is not None:
         engine.cache.partition = partition
-    executor = Executor(
-        epoch_cycles=SYNC_HORIZON_CYCLES if config.batched else None,
-        quiescent=engine.run_ahead_unbounded_ok if config.batched else None,
+    executor = make_epoch_executor(
+        config.batched, engine.run_ahead_unbounded_ok if config.batched else None
     )
     threads: List[SimThread] = []
     tenants: List[TenantStats] = []

@@ -206,6 +206,22 @@ def mmio_state_digest(stack, result, plan: Optional[FaultPlan] = None) -> Dict:
     return digest
 
 
+def stack_state_digest(stack, threads) -> Dict:
+    """Full end-state digest of an mmio stack from its threads alone.
+
+    The cluster layer (:mod:`repro.cluster`) digests shard stacks between
+    epochs, where no single :class:`~repro.sim.executor.RunResult` spans
+    the run — each epoch is its own executor invocation over persistent
+    threads.  This wraps the threads in a ``RunResult`` (makespan is the
+    max thread clock, exactly the per-run definition) and reuses
+    :func:`mmio_state_digest`, so a shard digest is structurally
+    identical to a single-process cell digest.
+    """
+    from repro.sim.executor import RunResult
+
+    return mmio_state_digest(stack, RunResult(list(threads)))
+
+
 def run_cell(
     engine_kind: str,
     batched: bool,

@@ -282,6 +282,27 @@ class Executor:
         return RunResult([t for t, _ in self._entries])
 
 
+def make_epoch_executor(
+    batched: bool, quiescent: Optional[Callable[[], bool]] = None
+) -> Executor:
+    """The standard batched/unbatched executor wiring, in one place.
+
+    Every workload driver (microbenchmark, serving layer, cluster shard
+    epochs) builds its executor the same way: batched mode runs with the
+    proven :data:`SYNC_HORIZON_CYCLES` quantum and the engine's
+    quiescence certificate; unbatched mode is the pristine per-op
+    reference with neither.  Cluster shards call this once per epoch —
+    the epoch barrier is a fresh executor over the shard's persistent
+    threads, so no run-ahead state (horizons, certificates) can survive
+    an epoch boundary and message delivery always happens between
+    executor runs (DESIGN.md §13).
+    """
+    return Executor(
+        epoch_cycles=SYNC_HORIZON_CYCLES if batched else None,
+        quiescent=quiescent if batched else None,
+    )
+
+
 def run_threads(
     make_workload: Callable[[SimThread], Iterator],
     num_threads: int,

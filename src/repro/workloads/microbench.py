@@ -32,7 +32,7 @@ from repro.common import units
 from repro.mmio.engine import Mapping
 from repro.mmio.vma import MADV_RANDOM
 from repro.obs import TRACER
-from repro.sim.executor import SYNC_HORIZON_CYCLES, Executor, RunResult, SimThread
+from repro.sim.executor import RunResult, SimThread, make_epoch_executor
 from repro.sim.fastforward import AccessPlan, LazyBoolSeq, LazyIntSeq
 from repro.sim.rand import counter_draws, derive_seed
 
@@ -255,10 +255,7 @@ def run_microbench(
             raise ValueError("need one file per thread for the private-file mode")
 
     engine.fastforward = bool(config.batched and config.fastforward)
-    executor = Executor(
-        epoch_cycles=SYNC_HORIZON_CYCLES if config.batched else None,
-        quiescent=engine.run_ahead_unbounded_ok if config.batched else None,
-    )
+    executor = make_epoch_executor(config.batched, engine.run_ahead_unbounded_ok)
     threads = []
     shared_mapping: Optional[Mapping] = None
     for index in range(config.num_threads):

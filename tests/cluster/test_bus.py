@@ -1,0 +1,91 @@
+"""Epoch bus: total delivery order and boundary-only buffering."""
+
+from repro.cluster.bus import EpochBus, ShardMessage, order_key
+
+
+def _msg(cycle, shard, seq, dest=(1,), key=0):
+    return ShardMessage(
+        cycle=float(cycle),
+        shard_id=shard,
+        seq=seq,
+        kind="replicate",
+        dest=tuple(dest),
+        key=key,
+        page=key % 8,
+        offset=0,
+    )
+
+
+class TestOrdering:
+    def test_delivery_sorted_by_cycle_then_shard_then_seq(self):
+        bus = EpochBus()
+        # Committed out of order, across senders, with a cycle tie
+        # between shards 0 and 2 broken by shard id.
+        bus.commit(
+            [
+                [_msg(300, 0, 0), _msg(100, 0, 1)],
+                [_msg(100, 2, 0), _msg(50, 2, 1)],
+            ]
+        )
+        inbox = bus.take_inbox(1)
+        assert [order_key(m) for m in inbox] == [
+            (50.0, 2, 1),
+            (100.0, 0, 1),
+            (100.0, 2, 0),
+            (300.0, 0, 0),
+        ]
+
+    def test_order_is_commit_order_invariant(self):
+        a, b = EpochBus(), EpochBus()
+        outboxes = [[_msg(10, 0, 0), _msg(5, 0, 1)], [_msg(7, 1, 0)]]
+        a.commit(outboxes)
+        b.commit(list(reversed(outboxes)))
+        assert a.take_inbox(1) == b.take_inbox(1)
+
+    def test_multi_destination_fanout(self):
+        bus = EpochBus()
+        bus.commit([[_msg(1, 0, 0, dest=(1, 2, 3))]])
+        assert len(bus.take_inbox(1)) == 1
+        assert len(bus.take_inbox(2)) == 1
+        assert len(bus.take_inbox(3)) == 1
+        assert bus.pending() == 0
+
+    def test_empty_destination_drops_but_counts(self):
+        bus = EpochBus()
+        bus.commit([[_msg(1, 0, 0, dest=())]])
+        assert bus.messages_committed == 1
+        assert bus.deliveries == 0
+        assert bus.pending() == 0
+
+
+class TestBoundaryBuffering:
+    def test_messages_stay_buffered_until_taken(self):
+        bus = EpochBus()
+        bus.commit([[_msg(1, 0, 0, dest=(1,)), _msg(2, 0, 1, dest=(2,))]])
+        assert bus.pending() == 2
+        assert len(bus.take_inbox(1)) == 1
+        assert bus.pending() == 1
+
+    def test_take_inbox_drains(self):
+        bus = EpochBus()
+        bus.commit([[_msg(1, 0, 0)]])
+        assert len(bus.take_inbox(1)) == 1
+        assert bus.take_inbox(1) == []
+
+    def test_drop_inbox_discards_a_dead_shards_mail(self):
+        bus = EpochBus()
+        bus.commit([[_msg(1, 0, 0, dest=(1, 2))]])
+        assert bus.drop_inbox(1) == 1
+        assert bus.pending() == 1          # shard 2's copy survives
+        assert bus.drop_inbox(1) == 0
+
+    def test_digest_reflects_counters(self):
+        bus = EpochBus()
+        bus.commit([[_msg(1, 0, 0, dest=(1, 2))]])
+        bus.commit([[]])
+        assert bus.digest() == {
+            "epochs_committed": 2,
+            "messages_committed": 1,
+            "deliveries": 2,
+            "pending": 2,
+        }

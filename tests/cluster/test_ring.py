@@ -1,0 +1,109 @@
+"""Consistent-hash ring: placement, balance, failover promotion.
+
+The edge cases the cluster depends on: a one-shard ring routes
+everything to that shard; shard counts that do not divide the key space
+still cover every key; removing a shard promotes exactly each of its
+keys' first replicas and never moves a key between surviving shards.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    key_hash,
+    promoted_owner_is_replica,
+)
+
+KEYS = list(range(4096))
+
+
+class TestPlacement:
+    def test_one_shard_ring_owns_everything(self):
+        ring = HashRing([0])
+        assert all(ring.primary(k) == 0 for k in KEYS[:256])
+        # Replication clamps to the live shard count.
+        assert ring.owners(17, 3) == [0]
+        assert ring.replicas(17, 2) == []
+
+    def test_every_key_lands_on_a_live_shard(self):
+        # 3 shards over a key space 3 does not divide (4096 keys).
+        ring = HashRing([0, 1, 2])
+        for key in KEYS:
+            assert ring.primary(key) in (0, 1, 2)
+
+    def test_balance_within_a_few_percent_of_even(self):
+        ring = HashRing(range(4))
+        counts = ring.assignment_counts(KEYS)
+        assert set(counts) == {0, 1, 2, 3}
+        for count in counts.values():
+            # Uniform would be 1024 per shard; vnodes keep the spread
+            # loose but bounded.
+            assert 0.5 * 1024 <= count <= 1.5 * 1024
+
+    def test_placement_is_a_pure_function_of_config(self):
+        a = HashRing([0, 1, 2, 3], seed=9)
+        b = HashRing([0, 1, 2, 3], seed=9)
+        assert [a.primary(k) for k in KEYS[:512]] == [
+            b.primary(k) for k in KEYS[:512]
+        ]
+        # A different seed rearranges placement (with overwhelming
+        # probability over 512 keys).
+        c = HashRing([0, 1, 2, 3], seed=10)
+        assert [a.primary(k) for k in KEYS[:512]] != [
+            c.primary(k) for k in KEYS[:512]
+        ]
+
+    def test_replicas_are_distinct_shards(self):
+        ring = HashRing(range(4))
+        for key in KEYS[:512]:
+            owners = ring.owners(key, 3)
+            assert len(owners) == len(set(owners)) == 3
+
+    def test_key_hash_is_stable_and_64_bit(self):
+        assert key_hash(12345, 7) == key_hash(12345, 7)
+        assert 0 <= key_hash(12345, 7) < (1 << 64)
+        assert key_hash(12345, 7) != key_hash(12345, 8)
+
+
+class TestFailover:
+    def test_removal_promotes_first_replica(self):
+        ring = HashRing(range(4))
+        for dead in range(4):
+            assert promoted_owner_is_replica(ring, dead, KEYS[:1024])
+
+    def test_removal_never_moves_surviving_keys(self):
+        ring = HashRing(range(4))
+        survivors = ring.remove(2)
+        for key in KEYS[:1024]:
+            old = ring.primary(key)
+            if old != 2:
+                assert survivors.primary(key) == old
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dead=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_promotion_property_over_seeds(self, dead, seed):
+        ring = HashRing(range(5), vnodes=16, seed=seed)
+        assert promoted_owner_is_replica(ring, dead, KEYS[:256])
+
+
+class TestValidation:
+    def test_rejects_empty_and_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+        with pytest.raises(ValueError):
+            HashRing([0], vnodes=0)
+
+    def test_remove_unknown_shard_raises(self):
+        with pytest.raises(ValueError):
+            HashRing([0, 1]).remove(7)
+
+    def test_default_vnodes(self):
+        assert HashRing([0]).vnodes == DEFAULT_VNODES

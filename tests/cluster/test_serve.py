@@ -1,0 +1,63 @@
+"""Multi-tenant serving across shards: placement and conformance."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.cluster.serve import place_tenants, run_cluster_serve, tenant_key
+from repro.serve.core import TenantSpec
+
+
+def _tenants(count=6):
+    return [
+        TenantSpec(
+            name=f"tenant-{i}",
+            requests=80,
+            mean_gap_cycles=400.0,
+            dataset_pages=32,
+            write_fraction=0.1,
+        )
+        for i in range(count)
+    ]
+
+
+class TestPlacement:
+    def test_every_tenant_placed_exactly_once(self):
+        ring = HashRing(range(3))
+        placement = place_tenants(_tenants(), ring)
+        placed = [name.name for specs in placement.values() for name in specs]
+        assert sorted(placed) == sorted(t.name for t in _tenants())
+        assert set(placement) == {0, 1, 2}
+
+    def test_placement_is_name_stable(self):
+        ring = HashRing(range(4), seed=5)
+        first = place_tenants(_tenants(), ring, seed=5)
+        second = place_tenants(_tenants(), ring, seed=5)
+        assert {s: [t.name for t in v] for s, v in first.items()} == {
+            s: [t.name for t in v] for s, v in second.items()
+        }
+
+    def test_tenant_key_is_seeded(self):
+        assert tenant_key("a", 1) == tenant_key("a", 1)
+        assert tenant_key("a", 1) != tenant_key("a", 2)
+        assert tenant_key("a", 1) != tenant_key("b", 1)
+
+
+class TestClusterServe:
+    def test_modes_agree(self):
+        tenants = _tenants()
+        fast = run_cluster_serve(tenants, 3, batched=True, fastforward=True)
+        slow = run_cluster_serve(tenants, 3, batched=False, fastforward=False)
+        assert fast.merged_hash() == slow.merged_hash()
+
+    def test_all_tenants_report_rows(self):
+        result = run_cluster_serve(_tenants(), 3)
+        assert len(result.tenant_rows) == 6
+        assert all("shard" in row for row in result.tenant_rows)
+
+    def test_single_shard_matches_plain_serve_shape(self):
+        result = run_cluster_serve(_tenants(3), 1)
+        assert result.placement == {0: ["tenant-0", "tenant-1", "tenant-2"]}
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            run_cluster_serve(_tenants(), 0)

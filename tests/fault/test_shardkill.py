@@ -1,0 +1,51 @@
+"""Seeded shard-kill derivation: deterministic, in-range, validated."""
+
+import pytest
+
+from repro.fault import ShardKillSpec, derive_shard_kill
+
+
+class TestDerivation:
+    def test_pure_function_of_seed_and_grid(self):
+        assert derive_shard_kill(3, 4, 4, 256) == derive_shard_kill(3, 4, 4, 256)
+
+    def test_seeds_spread_over_the_grid(self):
+        specs = {derive_shard_kill(seed, 4, 4, 256) for seed in range(32)}
+        assert len(specs) > 16
+        assert {s.shard_id for s in specs} == {0, 1, 2, 3}
+
+    def test_values_in_range(self):
+        for seed in range(64):
+            spec = derive_shard_kill(seed, 4, 5, 256)
+            assert 0 <= spec.shard_id < 4
+            # Epoch 0 is avoided when there is a later epoch to pick.
+            assert 1 <= spec.epoch < 5
+            # The ordinal is drawn from the expected per-shard slice.
+            assert 0 <= spec.op_index < 256 // 4
+
+    def test_single_epoch_grid_allows_epoch_zero(self):
+        spec = derive_shard_kill(1, 2, 1, 64)
+        assert spec.epoch == 0
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            derive_shard_kill(0, 0, 4, 256)
+        with pytest.raises(ValueError):
+            derive_shard_kill(0, 4, 0, 256)
+        with pytest.raises(ValueError):
+            derive_shard_kill(0, 4, 4, 0)
+
+
+class TestSpecValidation:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ShardKillSpec(shard_id=-1, epoch=0, op_index=0)
+        with pytest.raises(ValueError):
+            ShardKillSpec(shard_id=0, epoch=-1, op_index=0)
+        with pytest.raises(ValueError):
+            ShardKillSpec(shard_id=0, epoch=0, op_index=-1)
+
+    def test_frozen(self):
+        spec = ShardKillSpec(shard_id=0, epoch=1, op_index=2)
+        with pytest.raises(Exception):
+            spec.shard_id = 3
